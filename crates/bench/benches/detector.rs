@@ -1,0 +1,45 @@
+//! Criterion benchmark for the failure detector's hot paths (experiment
+//! E9 companion): expectation issue/match throughput and poll cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsel_detector::{FailureDetector, FdConfig};
+use qsel_simnet::{SimDuration, SimTime};
+use qsel_types::ProcessId;
+
+fn bench_expect_match(c: &mut Criterion) {
+    c.bench_function("fd_expect_then_match", |b| {
+        b.iter(|| {
+            let mut fd: FailureDetector<u64> =
+                FailureDetector::new(ProcessId(1), 16, FdConfig::default());
+            let t = SimTime::ZERO;
+            for round in 0..32u64 {
+                for p in 2..=16u32 {
+                    fd.expect(t, ProcessId(p), "m", move |m| *m == round);
+                }
+                for p in 2..=16u32 {
+                    let out = fd.on_receive(t, ProcessId(p), round);
+                    std::hint::black_box(out.len());
+                }
+            }
+            std::hint::black_box(fd.stats())
+        })
+    });
+}
+
+fn bench_poll_with_backlog(c: &mut Criterion) {
+    c.bench_function("fd_poll_100_pending", |b| {
+        b.iter(|| {
+            let mut fd: FailureDetector<u64> =
+                FailureDetector::new(ProcessId(1), 16, FdConfig::default());
+            let t0 = SimTime::ZERO;
+            for i in 0..100u64 {
+                fd.expect(t0, ProcessId((i % 15) as u32 + 2), "m", move |m| *m == i);
+            }
+            let out = fd.poll(t0 + SimDuration::secs(1));
+            std::hint::black_box(out.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_expect_match, bench_poll_with_backlog);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark for experiment E6: a full leader-attack round
+//! against a Follower Selection cluster (suspicion + propagation +
+//! FOLLOWERS exchange until agreement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsel_adversary::cluster::FsCluster;
+use qsel_types::ClusterConfig;
+
+fn bench_leader_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_leader_attack_campaign");
+    group.sample_size(20);
+    for f in [1u32, 2, 3] {
+        let n = 3 * f + 1;
+        let cfg = ClusterConfig::new(n, f).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("f{f}")), &f, |b, _| {
+            b.iter(|| {
+                let mut cluster = FsCluster::new(cfg, 9);
+                for _ in 0..(3 * f + 1) {
+                    let Some(lq) = cluster.agreed_quorum() else { break };
+                    let Some(s) = lq.followers().iter().next() else { break };
+                    cluster.cause_suspicion(s, lq.leader());
+                }
+                std::hint::black_box(cluster.agreed_epoch())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leader_attack);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the suspect-graph solvers.
+//!
+//! The paper argues (§VI-C) that although independent set is NP-hard, the
+//! graphs Quorum Selection meets ("only tenth of nodes") make exact search
+//! cheap. This bench quantifies that: lexicographically-first independent
+//! set and maximal line subgraph on accurate-epoch-shaped graphs
+//! (suspicion edges all incident to ≤ f faulty nodes) across cluster
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsel_graph::SuspectGraph;
+use qsel_types::ProcessId;
+
+/// An accurate-epoch suspect graph: f faulty nodes, each suspected by /
+/// suspecting a spread of correct nodes (edges all touch a faulty node).
+fn accurate_graph(n: u32, f: u32) -> SuspectGraph {
+    let mut g = SuspectGraph::new(n);
+    for b in 1..=f {
+        // Each faulty node p_b gets edges to a few correct ones.
+        for k in 0..3u32 {
+            let peer = f + 1 + ((b * 7 + k * 11) % (n - f));
+            if peer != b {
+                g.add_edge(ProcessId(b), ProcessId(peer));
+            }
+        }
+    }
+    g
+}
+
+fn bench_independent_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_independent_set");
+    for f in [1u32, 2, 4, 8, 16] {
+        let n = 3 * f + 1;
+        let g = accurate_graph(n, f);
+        let q = n - f;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_f{f}")), &g, |b, g| {
+            b.iter(|| {
+                let s = g.first_independent_set(q).expect("accurate graph has an IS");
+                std::hint::black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_subgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_line_subgraph");
+    for f in [1u32, 2, 4, 8] {
+        let n = 3 * f + 1;
+        let g = accurate_graph(n, f);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_f{f}")), &g, |b, g| {
+            b.iter(|| std::hint::black_box(g.maximal_line_subgraph()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vertex_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("min_vertex_cover");
+    for f in [1u32, 2, 4] {
+        let n = 3 * f + 1;
+        let g = accurate_graph(n, f);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_f{f}")), &g, |b, g| {
+            b.iter(|| std::hint::black_box(g.min_vertex_cover()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_independent_set,
+    bench_line_subgraph,
+    bench_vertex_cover
+);
+criterion_main!(benches);

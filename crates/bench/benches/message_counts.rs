@@ -1,0 +1,35 @@
+//! Criterion benchmark for experiment E8: full simulated workloads for the
+//! message-count comparison (PBFT all vs active quorum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsel_pbft::{run_workload, Participation};
+use qsel_types::ClusterConfig;
+
+fn bench_pbft_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_workload_20ops");
+    group.sample_size(10);
+    for (label, participation) in [
+        ("all", Participation::All),
+        ("active_quorum", Participation::ActiveQuorum),
+    ] {
+        for f in [1u32, 2] {
+            let n = 3 * f + 1;
+            let cfg = ClusterConfig::new(n, f).expect("valid config");
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("f{f}")),
+                &cfg,
+                |b, &cfg| {
+                    b.iter(|| {
+                        let r = run_workload(cfg, participation, 20, 5);
+                        assert_eq!(r.committed, 20);
+                        std::hint::black_box(r.inter_replica_messages)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pbft_workloads);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmark for experiment E1/E12 companion: the XPaxos
+//! normal-case pipeline — simulated wall-clock per committed operation in
+//! a fault-free cluster, for both cluster shapes the paper discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsel_simnet::SimTime;
+use qsel_types::ClusterConfig;
+use qsel_xpaxos::harness::{total_committed, ClusterBuilder};
+
+fn bench_normal_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xpaxos_normal_case_20ops");
+    group.sample_size(10);
+    for f in [1u32, 2] {
+        let n = 3 * f + 1;
+        let cfg = ClusterConfig::new(n, f).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("f{f}")), &cfg, |b, &cfg| {
+            b.iter(|| {
+                let mut sim = ClusterBuilder::new(cfg, 8).clients(1, 20).build();
+                sim.run_until(SimTime::from_micros(2_000_000));
+                assert_eq!(total_committed(&sim), 20);
+                std::hint::black_box(sim.stats().messages_sent)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal_case);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmark for experiment E4/E5: the adversary games of
+//! Theorems 3 and 4 (optimal DP for small f, greedy beyond).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsel_adversary::game::{greedy_adversary, max_interruptions, LexFirstIs};
+
+fn bench_optimal_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_adversary_dp");
+    group.sample_size(10);
+    for f in 1..=3u32 {
+        let n = 3 * f + 1;
+        let q = n - f;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("f{f}")), &f, |b, &f| {
+            b.iter(|| {
+                let r = max_interruptions(&LexFirstIs::new(n, q), n, f);
+                std::hint::black_box(r.changes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_adversary");
+    for f in [1u32, 2, 4, 8] {
+        let n = 3 * f + 1;
+        let q = n - f;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("f{f}")), &f, |b, &f| {
+            b.iter(|| {
+                let mut algo = LexFirstIs::new(n, q);
+                let r = greedy_adversary(&mut algo, n, f);
+                std::hint::black_box(r.changes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_game, bench_greedy_game);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmark for experiment E7: time to exclude a Byzantine
+//! culprit — quorum-selection cluster vs the enumeration baseline's
+//! combinatorial walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsel_adversary::cluster::QsCluster;
+use qsel_adversary::game::RoundRobinEnumeration;
+use qsel_types::{ClusterConfig, ProcessId};
+
+fn bench_selection_exclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclude_culprit_selection");
+    group.sample_size(20);
+    for f in [1u32, 2, 3] {
+        let n = 3 * f + 1;
+        let cfg = ClusterConfig::new(n, f).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(format!("f{f}")), &f, |b, _| {
+            b.iter(|| {
+                let mut cluster = QsCluster::new(cfg, 3);
+                let culprit = ProcessId(1);
+                let mut changes = 0u64;
+                loop {
+                    let q = cluster.agreed_quorum().expect("agreement");
+                    if !q.contains(culprit) {
+                        break;
+                    }
+                    let victim = q.iter().find(|p| *p != culprit).expect("non-culprit");
+                    cluster.cause_suspicion(victim, culprit);
+                    changes += 1;
+                }
+                std::hint::black_box(changes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration_exclusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclude_culprit_enumeration");
+    for f in [1u32, 2, 3] {
+        let n = 3 * f + 1;
+        let q = n - f;
+        group.bench_with_input(BenchmarkId::from_parameter(format!("f{f}")), &f, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(RoundRobinEnumeration::changes_until_excluding(
+                    n,
+                    q,
+                    ProcessId(1),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection_exclusion, bench_enumeration_exclusion);
+criterion_main!(benches);

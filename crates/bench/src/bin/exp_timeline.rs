@@ -1,0 +1,86 @@
+//! Experiment E12 — end-to-end throughput timeline across fault injection.
+//!
+//! An XPaxos cluster (n = 4, f = 1) serves a closed-loop client. At
+//! t = 300ms the active-quorum follower p2 crashes. We record committed
+//! operations per 100ms bucket for the Quorum-Selection policy and the
+//! enumeration baseline. The shape to reproduce: a dip at the fault,
+//! then recovery to the pre-fault rate; omissions from the now-passive
+//! replica cost nothing afterwards.
+
+use qsel_bench::Table;
+use qsel_simnet::{SimDuration, SimTime};
+use qsel_types::{ClusterConfig, ProcessId};
+use qsel_xpaxos::harness::{assert_safety, ClusterBuilder};
+use qsel_xpaxos::replica::{QuorumPolicy, ReplicaConfig};
+
+fn run(policy: QuorumPolicy) -> (Vec<u64>, u64) {
+    let cfg = ClusterConfig::new(4, 1).expect("valid config");
+    let rcfg = ReplicaConfig {
+        policy,
+        ..Default::default()
+    };
+    let mut sim = ClusterBuilder::new(cfg, 4242)
+        .replica_config(rcfg)
+        .clients(4, 100_000) // effectively unbounded; time-limited run
+        .retry(SimDuration::millis(30))
+        .build();
+    sim.start();
+    let bucket = SimDuration::millis(100);
+    let horizon = SimTime::from_micros(1_200_000);
+    let crash_at = SimTime::from_micros(300_000);
+    let mut crashed = false;
+    let mut t = SimTime::ZERO;
+    let mut committed_before = 0u64;
+    let mut buckets = Vec::new();
+    while t < horizon {
+        if !crashed && t + bucket > crash_at {
+            sim.run_until(crash_at);
+            sim.crash(ProcessId(2));
+            crashed = true;
+        }
+        t = t + bucket;
+        sim.run_until(t);
+        let committed: u64 = sim
+            .ids()
+            .collect::<Vec<_>>()
+            .iter()
+            .filter_map(|&id| sim.actor(id).client().map(|c| c.committed_ops()))
+            .sum();
+        buckets.push(committed - committed_before);
+        committed_before = committed;
+    }
+    assert_safety(&sim);
+    let installs = sim
+        .ids()
+        .collect::<Vec<_>>()
+        .iter()
+        .filter_map(|&id| sim.actor(id).replica().map(|r| r.stats().views_installed))
+        .max()
+        .unwrap_or(0);
+    (buckets, installs)
+}
+
+fn main() {
+    let (sel, sel_vc) = run(QuorumPolicy::Selection);
+    let (en, en_vc) = run(QuorumPolicy::Enumeration);
+    let mut table = Table::new(vec![
+        "t (ms)",
+        "ops/100ms (Quorum Selection)",
+        "ops/100ms (enumeration)",
+    ]);
+    for (i, (s, e)) in sel.iter().zip(&en).enumerate() {
+        let label = format!("{}–{}", i * 100, (i + 1) * 100);
+        let mark = if i * 100 == 300 { " ← crash p2" } else { "" };
+        table.row(vec![
+            format!("{label}{mark}"),
+            s.to_string(),
+            e.to_string(),
+        ]);
+    }
+    table.print("E12: committed ops per 100ms across a follower crash at t=300ms (n=4, f=1)");
+    println!("views installed: selection = {sel_vc}, enumeration = {en_vc}");
+    println!(
+        "Reading: both dip at the crash; Quorum Selection re-stabilizes after \
+         a single quorum change and throughput returns to the fault-free rate."
+    );
+}

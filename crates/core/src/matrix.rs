@@ -1,0 +1,281 @@
+//! The eventually-consistent `suspected` matrix of Algorithm 1.
+//!
+//! `suspected[l][k]` stores the last epoch in which process `l` suspected
+//! process `k` (0 = never). Rows are updated locally by their owner and
+//! propagated in signed `UPDATE` messages; receivers merge with
+//! element-wise maximum (Algorithm 1 lines 16–24). Because max-merge is
+//! commutative, associative and idempotent, the matrix is a join
+//! semilattice: correct processes converge to the same state regardless of
+//! delivery order, and equivocating updates only speed convergence up —
+//! the paper's "eventually consistent shared data structure".
+
+use std::fmt;
+
+use qsel_graph::SuspectGraph;
+use qsel_types::{Epoch, ProcessId};
+
+/// The `n × n` matrix of last-suspicion epochs.
+///
+/// # Example
+///
+/// ```
+/// use qsel::SuspectMatrix;
+/// use qsel_types::{Epoch, ProcessId};
+///
+/// let mut m = SuspectMatrix::new(4);
+/// m.stamp(ProcessId(1), ProcessId(3), Epoch(2)); // p1 suspects p3 in e2
+/// assert_eq!(m.get(ProcessId(1), ProcessId(3)), Epoch(2));
+/// let g = m.build_graph(Epoch(2));
+/// assert!(g.has_edge(ProcessId(1), ProcessId(3)));
+/// assert!(!m.build_graph(Epoch(3)).has_edge(ProcessId(1), ProcessId(3)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SuspectMatrix {
+    n: u32,
+    rows: Vec<Vec<Epoch>>,
+}
+
+impl SuspectMatrix {
+    /// Creates the all-zero matrix ("initially all 0", Algorithm 1 line 6).
+    pub fn new(n: u32) -> Self {
+        SuspectMatrix {
+            n,
+            rows: vec![vec![Epoch::NEVER; n as usize]; n as usize],
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Last epoch in which `l` suspected `k`.
+    pub fn get(&self, l: ProcessId, k: ProcessId) -> Epoch {
+        self.rows[l.index()][k.index()]
+    }
+
+    /// Records that `l` suspects `k` in epoch `e` (Algorithm 1 line 14;
+    /// the paper's pseudocode writes `suspected[j][i] ← epoch` with `i` the
+    /// acting process, but line 15 broadcasts `suspected[i]` and the UPDATE
+    /// handler merges into row `l` of the *sender*, so rows must hold the
+    /// suspicions *by* their owner — we follow that consistent reading).
+    ///
+    /// Stamps never decrease (max-merge semantics).
+    pub fn stamp(&mut self, l: ProcessId, k: ProcessId, e: Epoch) -> bool {
+        let cell = &mut self.rows[l.index()][k.index()];
+        if e > *cell {
+            *cell = e;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Row `l`: the suspicions issued by process `l`.
+    pub fn row(&self, l: ProcessId) -> &[Epoch] {
+        &self.rows[l.index()]
+    }
+
+    /// Merges `incoming` into row `l` with element-wise max (Algorithm 1
+    /// lines 18–21). Returns `true` if any cell increased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `incoming.len() != n` — callers must length-check network
+    /// input first (see `UpdateMsg::validate`).
+    pub fn merge_row(&mut self, l: ProcessId, incoming: &[Epoch]) -> bool {
+        assert_eq!(incoming.len(), self.n as usize, "row length mismatch");
+        let row = &mut self.rows[l.index()];
+        let mut changed = false;
+        for (cell, &new) in row.iter_mut().zip(incoming) {
+            if new > *cell {
+                *cell = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Builds the epoch-`e` suspect graph (Section VI-B): nodes `l, k` are
+    /// connected iff `suspected[l][k] ≥ e` or `suspected[k][l] ≥ e`.
+    /// Diagonal entries (self-suspicions, which only a faulty process would
+    /// send) are ignored.
+    pub fn build_graph(&self, e: Epoch) -> SuspectGraph {
+        let mut g = SuspectGraph::new(self.n);
+        for l in 1..=self.n {
+            for k in l + 1..=self.n {
+                let lk = self.rows[(l - 1) as usize][(k - 1) as usize];
+                let kl = self.rows[(k - 1) as usize][(l - 1) as usize];
+                if lk.visible_at(e) || kl.visible_at(e) {
+                    g.add_edge(ProcessId(l), ProcessId(k));
+                }
+            }
+        }
+        g
+    }
+
+    /// The largest epoch stamped anywhere in the matrix.
+    pub fn max_epoch(&self) -> Epoch {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .max()
+            .unwrap_or(Epoch::NEVER)
+    }
+
+    /// Merges an entire matrix (row-wise max). Convenience for tests and
+    /// state transfer.
+    pub fn merge(&mut self, other: &SuspectMatrix) -> bool {
+        assert_eq!(self.n, other.n, "matrix size mismatch");
+        let mut changed = false;
+        for l in 1..=self.n {
+            changed |= self.merge_row(ProcessId(l), other.row(ProcessId(l)));
+        }
+        changed
+    }
+}
+
+impl fmt::Debug for SuspectMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SuspectMatrix(n={})", self.n)?;
+        for l in 1..=self.n {
+            write!(f, "  p{l}:")?;
+            for k in 1..=self.n {
+                let e = self.rows[(l - 1) as usize][(k - 1) as usize];
+                if e != Epoch::NEVER {
+                    write!(f, " p{k}@e{}", e.get())?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stamp_is_monotone() {
+        let mut m = SuspectMatrix::new(3);
+        assert!(m.stamp(ProcessId(1), ProcessId(2), Epoch(3)));
+        assert!(!m.stamp(ProcessId(1), ProcessId(2), Epoch(2)));
+        assert!(!m.stamp(ProcessId(1), ProcessId(2), Epoch(3)));
+        assert_eq!(m.get(ProcessId(1), ProcessId(2)), Epoch(3));
+    }
+
+    #[test]
+    fn merge_row_takes_max() {
+        let mut m = SuspectMatrix::new(3);
+        m.stamp(ProcessId(2), ProcessId(1), Epoch(5));
+        let changed = m.merge_row(ProcessId(2), &[Epoch(3), Epoch(0), Epoch(7)]);
+        assert!(changed);
+        assert_eq!(m.get(ProcessId(2), ProcessId(1)), Epoch(5)); // kept max
+        assert_eq!(m.get(ProcessId(2), ProcessId(3)), Epoch(7));
+        // Merging the same row again changes nothing (idempotent).
+        assert!(!m.merge_row(ProcessId(2), &[Epoch(3), Epoch(0), Epoch(7)]));
+    }
+
+    #[test]
+    fn graph_respects_epoch_visibility() {
+        let mut m = SuspectMatrix::new(4);
+        m.stamp(ProcessId(1), ProcessId(2), Epoch(1));
+        m.stamp(ProcessId(3), ProcessId(4), Epoch(2));
+        let g1 = m.build_graph(Epoch(1));
+        assert!(g1.has_edge(ProcessId(1), ProcessId(2)));
+        assert!(g1.has_edge(ProcessId(3), ProcessId(4)));
+        let g2 = m.build_graph(Epoch(2));
+        assert!(!g2.has_edge(ProcessId(1), ProcessId(2)));
+        assert!(g2.has_edge(ProcessId(3), ProcessId(4)));
+    }
+
+    #[test]
+    fn graph_is_symmetric_in_suspicion_direction() {
+        let mut m = SuspectMatrix::new(3);
+        m.stamp(ProcessId(2), ProcessId(1), Epoch(1));
+        let g = m.build_graph(Epoch(1));
+        assert!(g.has_edge(ProcessId(1), ProcessId(2)));
+        assert!(g.has_edge(ProcessId(2), ProcessId(1)));
+    }
+
+    #[test]
+    fn diagonal_ignored() {
+        let mut m = SuspectMatrix::new(3);
+        m.stamp(ProcessId(2), ProcessId(2), Epoch(9));
+        let g = m.build_graph(Epoch(1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn max_epoch() {
+        let mut m = SuspectMatrix::new(3);
+        assert_eq!(m.max_epoch(), Epoch::NEVER);
+        m.stamp(ProcessId(1), ProcessId(2), Epoch(4));
+        m.stamp(ProcessId(3), ProcessId(1), Epoch(2));
+        assert_eq!(m.max_epoch(), Epoch(4));
+    }
+
+    fn arb_matrix(n: u32) -> impl Strategy<Value = SuspectMatrix> {
+        proptest::collection::vec(0u64..4, (n * n) as usize).prop_map(move |cells| {
+            let mut m = SuspectMatrix::new(n);
+            for l in 0..n {
+                for k in 0..n {
+                    let e = cells[(l * n + k) as usize];
+                    if e > 0 {
+                        m.stamp(ProcessId(l + 1), ProcessId(k + 1), Epoch(e));
+                    }
+                }
+            }
+            m
+        })
+    }
+
+    proptest! {
+        /// Join-semilattice laws: commutative, associative, idempotent.
+        /// These are what make the matrix "eventually consistent" under
+        /// arbitrary delivery orders and equivocation (paper §VI-A).
+        #[test]
+        fn prop_merge_semilattice(
+            a in arb_matrix(4),
+            b in arb_matrix(4),
+            c in arb_matrix(4),
+        ) {
+            // Commutativity.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            // Associativity.
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+            // Idempotence.
+            let mut aa = a.clone();
+            prop_assert!(!aa.merge(&a));
+            prop_assert_eq!(&aa, &a);
+        }
+
+        /// Merging is monotone w.r.t. graph edges: a merged matrix's epoch-e
+        /// graph contains every edge of both inputs' epoch-e graphs.
+        #[test]
+        fn prop_merge_monotone_graphs(a in arb_matrix(4), b in arb_matrix(4)) {
+            let mut m = a.clone();
+            m.merge(&b);
+            for e in 1..4u64 {
+                let g = m.build_graph(Epoch(e));
+                for part in [&a, &b] {
+                    for (x, y) in part.build_graph(Epoch(e)).edges() {
+                        prop_assert!(g.has_edge(x, y));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Behaviour counters shared by the two selection algorithms.
+
+use std::collections::BTreeMap;
+
+use qsel_types::Epoch;
+
+/// Counters describing a selection module's behaviour. The per-epoch quorum
+/// counts are the quantity bounded by Theorem 3 (`f(f+1)` for Algorithm 1)
+/// and Theorem 9 (`3f+1` for Algorithm 2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// `⟨QUORUM⟩` events issued.
+    pub quorums_issued: u64,
+    /// Epoch increments performed.
+    pub epochs_entered: u64,
+    /// Own-row UPDATE broadcasts.
+    pub updates_sent: u64,
+    /// Foreign rows forwarded after a state change.
+    pub updates_forwarded: u64,
+    /// UPDATE messages dropped for bad signatures or malformed rows.
+    pub invalid_updates: u64,
+    /// FOLLOWERS messages dropped for bad signatures (Algorithm 2 only).
+    pub invalid_followers: u64,
+    /// `⟨DETECTED⟩` events raised against misbehaving leaders
+    /// (Algorithm 2 only).
+    pub detections_raised: u64,
+    /// Quorums issued per epoch.
+    pub quorums_per_epoch: BTreeMap<u64, u64>,
+}
+
+impl SelectionStats {
+    /// Records a quorum issued while in `epoch`.
+    pub fn record_quorum(&mut self, epoch: Epoch) {
+        self.quorums_issued += 1;
+        *self.quorums_per_epoch.entry(epoch.get()).or_insert(0) += 1;
+    }
+
+    /// The maximum number of quorums issued within any single epoch — the
+    /// quantity the paper's Theorems 3 and 9 bound.
+    pub fn max_quorums_in_one_epoch(&self) -> u64 {
+        self.quorums_per_epoch.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_epoch_accounting() {
+        let mut s = SelectionStats::default();
+        s.record_quorum(Epoch(1));
+        s.record_quorum(Epoch(1));
+        s.record_quorum(Epoch(2));
+        assert_eq!(s.quorums_issued, 3);
+        assert_eq!(s.quorums_per_epoch[&1], 2);
+        assert_eq!(s.quorums_per_epoch[&2], 1);
+        assert_eq!(s.max_quorums_in_one_epoch(), 2);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = SelectionStats::default();
+        assert_eq!(s.max_quorums_in_one_epoch(), 0);
+    }
+}

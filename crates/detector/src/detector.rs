@@ -1,0 +1,494 @@
+//! The failure-detector state machine.
+
+use std::fmt;
+
+use qsel_simnet::{SimDuration, SimTime};
+use qsel_types::{ProcessId, ProcessSet};
+
+use crate::timeout::TimeoutPolicy;
+
+/// Configuration of a [`FailureDetector`].
+#[derive(Clone, Debug)]
+pub struct FdConfig {
+    /// Initial expectation timeout Δ per peer.
+    pub initial_timeout: SimDuration,
+    /// Upper bound for the adaptive timeout.
+    pub timeout_cap: SimDuration,
+    /// Whether late fulfilment backs off the peer's timeout. Disabling
+    /// this (ablation) loses eventual strong accuracy on
+    /// eventually-synchronous networks — see experiment E-ABL.
+    pub adaptive: bool,
+}
+
+impl Default for FdConfig {
+    /// 1ms initial timeout, 60s cap — suitable for the default LAN-like
+    /// delay model of `qsel-simnet` (50–150µs per hop).
+    fn default() -> Self {
+        FdConfig {
+            initial_timeout: SimDuration::millis(1),
+            timeout_cap: SimDuration::secs(60),
+            adaptive: true,
+        }
+    }
+}
+
+/// Output events of the failure detector (paper §IV-B).
+#[derive(Debug)]
+pub enum FdOutput<M> {
+    /// `⟨DELIVER, m, i⟩` — a correctly authenticated message from `from`
+    /// is passed up to the application / quorum-selection module.
+    Deliver {
+        /// Original sender.
+        from: ProcessId,
+        /// The message.
+        msg: M,
+    },
+    /// `⟨SUSPECTED, S⟩` — the set of currently suspected processes
+    /// changed; `S` is the complete new set.
+    Suspected(ProcessSet),
+}
+
+/// Counters describing detector behaviour (used by experiment E9).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdStats {
+    /// Expirations per expectation label (diagnosis aid).
+    pub expired_by_label: std::collections::BTreeMap<&'static str, u64>,
+    /// The first expirations, with time / peer / label (diagnosis aid;
+    /// capped at 256 entries).
+    pub expiry_log: Vec<(SimTime, ProcessId, &'static str)>,
+    /// Expectations issued.
+    pub expectations_issued: u64,
+    /// Expectations satisfied by a matching delivery before their deadline.
+    pub expectations_met: u64,
+    /// Expectations that expired (each expiry raises / keeps a suspicion).
+    pub expectations_expired: u64,
+    /// Expectations removed by `⟨CANCEL⟩`.
+    pub expectations_cancelled: u64,
+    /// Suspicions raised (a peer entering the suspected set).
+    pub suspicions_raised: u64,
+    /// Suspicions cancelled (a peer leaving the suspected set — a false or
+    /// stale suspicion, triggering timeout back-off).
+    pub suspicions_cancelled: u64,
+    /// Permanent detections reported by the application.
+    pub detections: u64,
+}
+
+struct Expectation<M> {
+    from: ProcessId,
+    deadline: SimTime,
+    expired: bool,
+    label: &'static str,
+    pred: Box<dyn Fn(&M) -> bool>,
+}
+
+impl<M> fmt::Debug for Expectation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Expectation")
+            .field("from", &self.from)
+            .field("deadline", &self.deadline)
+            .field("expired", &self.expired)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// The failure-detector module of one process (Fig. 1 of the paper).
+///
+/// See the [crate documentation](crate) for the event model and an example.
+pub struct FailureDetector<M> {
+    me: ProcessId,
+    expectations: Vec<Expectation<M>>,
+    timeouts: Vec<TimeoutPolicy>,
+    adaptive: bool,
+    detected: ProcessSet,
+    last_published: ProcessSet,
+    stats: FdStats,
+}
+
+impl<M> FailureDetector<M> {
+    /// Creates the detector for process `me` in a cluster of `n` processes.
+    pub fn new(me: ProcessId, n: u32, cfg: FdConfig) -> Self {
+        FailureDetector {
+            me,
+            expectations: Vec::new(),
+            timeouts: (0..n)
+                .map(|_| TimeoutPolicy::new(cfg.initial_timeout, cfg.timeout_cap))
+                .collect(),
+            adaptive: cfg.adaptive,
+            detected: ProcessSet::new(),
+            last_published: ProcessSet::new(),
+            stats: FdStats::default(),
+        }
+    }
+
+    /// The owning process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// `⟨EXPECT, P, i⟩` — the application expects a message satisfying
+    /// `pred` from `from`. The deadline is `now` plus the current adaptive
+    /// timeout for `from`. `label` names the expectation in debug output.
+    pub fn expect(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        label: &'static str,
+        pred: impl Fn(&M) -> bool + 'static,
+    ) {
+        self.expect_with_min(now, from, SimDuration::ZERO, label, pred);
+    }
+
+    /// Like [`FailureDetector::expect`], but with a floor on the timeout:
+    /// the deadline is `now + max(adaptive, min_timeout)`. Use this for
+    /// expectations whose fulfilment spans a multi-round sub-protocol
+    /// (e.g. a view change), where the per-hop adaptive timeout would
+    /// violate the §IV-B accuracy requirement of only expecting what a
+    /// correct process sends within two communication rounds.
+    pub fn expect_with_min(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        min_timeout: SimDuration,
+        label: &'static str,
+        pred: impl Fn(&M) -> bool + 'static,
+    ) {
+        self.stats.expectations_issued += 1;
+        let timeout = self.timeouts[from.index()].current().max(min_timeout);
+        self.expectations.push(Expectation {
+            from,
+            deadline: now + timeout,
+            expired: false,
+            label,
+            pred: Box::new(pred),
+        });
+    }
+
+    /// `⟨CANCEL⟩` — drops all outstanding expectations (met or not) and
+    /// retracts the suspicions they caused. Expired expectations whose
+    /// message never arrived do *not* back off the timeout (nothing proved
+    /// the suspicion false).
+    pub fn cancel_all(&mut self, _now: SimTime) -> Vec<FdOutput<M>> {
+        self.stats.expectations_cancelled += self.expectations.len() as u64;
+        self.expectations.clear();
+        self.publish_if_changed()
+    }
+
+    /// `⟨RECEIVE, m, i⟩` — a correctly authenticated message arrived from
+    /// `from`. Always emits a [`FdOutput::Deliver`]; additionally resolves
+    /// matching expectations and retracts suspicions they caused. A match
+    /// for an *expired* expectation is a late message: the suspicion was
+    /// false, so the timeout for `from` backs off.
+    pub fn on_receive(&mut self, _now: SimTime, from: ProcessId, msg: M) -> Vec<FdOutput<M>> {
+        let mut late_match = false;
+        let mut met = 0u64;
+        self.expectations.retain(|e| {
+            if e.from == from && (e.pred)(&msg) {
+                if e.expired {
+                    late_match = true;
+                }
+                met += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.stats.expectations_met += met;
+        if late_match && self.adaptive {
+            self.timeouts[from.index()].back_off();
+        }
+        let mut out = vec![FdOutput::Deliver { from, msg }];
+        out.extend(self.publish_if_changed());
+        out
+    }
+
+    /// Advances time: marks expectations past their deadline as expired and
+    /// publishes the new suspicion set if it changed. The host should call
+    /// this at (or after) [`FailureDetector::next_deadline`].
+    pub fn poll(&mut self, now: SimTime) -> Vec<FdOutput<M>> {
+        for e in &mut self.expectations {
+            if !e.expired && e.deadline <= now {
+                e.expired = true;
+                self.stats.expectations_expired += 1;
+                *self.stats.expired_by_label.entry(e.label).or_insert(0) += 1;
+                if self.stats.expiry_log.len() < 256 {
+                    self.stats.expiry_log.push((now, e.from, e.label));
+                }
+            }
+        }
+        self.publish_if_changed()
+    }
+
+    /// `⟨DETECTED, i⟩` — the application found proof that `who` is faulty
+    /// (commission failure); `who` is suspected permanently (detection
+    /// completeness).
+    pub fn detected(&mut self, _now: SimTime, who: ProcessId) -> Vec<FdOutput<M>> {
+        if self.detected.insert(who) {
+            self.stats.detections += 1;
+        }
+        self.publish_if_changed()
+    }
+
+    /// The earliest outstanding expectation deadline, if any — the next
+    /// instant at which [`FailureDetector::poll`] could change the
+    /// suspicion set.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.expectations
+            .iter()
+            .filter(|e| !e.expired)
+            .map(|e| e.deadline)
+            .min()
+    }
+
+    /// The current suspicion set: permanently detected processes plus every
+    /// peer with an expired outstanding expectation.
+    pub fn suspected_set(&self) -> ProcessSet {
+        let mut s = self.detected;
+        for e in &self.expectations {
+            if e.expired {
+                s.insert(e.from);
+            }
+        }
+        s
+    }
+
+    /// Whether `p` is currently suspected.
+    pub fn is_suspected(&self, p: ProcessId) -> bool {
+        self.suspected_set().contains(p)
+    }
+
+    /// Processes permanently detected as faulty by the application.
+    pub fn detected_set(&self) -> ProcessSet {
+        self.detected
+    }
+
+    /// Number of outstanding (uncancelled, unmet) expectations.
+    pub fn pending_expectations(&self) -> usize {
+        self.expectations.len()
+    }
+
+    /// The adaptive timeout currently applied to `peer`.
+    pub fn current_timeout(&self, peer: ProcessId) -> SimDuration {
+        self.timeouts[peer.index()].current()
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> FdStats {
+        self.stats.clone()
+    }
+
+    fn publish_if_changed(&mut self) -> Vec<FdOutput<M>> {
+        let now_set = self.suspected_set();
+        if now_set == self.last_published {
+            return Vec::new();
+        }
+        let raised = now_set.difference(&self.last_published).len() as u64;
+        let cancelled = self.last_published.difference(&now_set).len() as u64;
+        self.stats.suspicions_raised += raised;
+        self.stats.suspicions_cancelled += cancelled;
+        self.last_published = now_set;
+        vec![FdOutput::Suspected(now_set)]
+    }
+}
+
+impl<M> fmt::Debug for FailureDetector<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailureDetector")
+            .field("me", &self.me)
+            .field("expectations", &self.expectations)
+            .field("detected", &self.detected)
+            .field("suspected", &self.suspected_set())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Fd = FailureDetector<&'static str>;
+
+    fn fd() -> Fd {
+        FailureDetector::new(ProcessId(1), 4, FdConfig::default())
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::millis(ms)
+    }
+
+    fn suspected_events(out: &[FdOutput<&'static str>]) -> Vec<ProcessSet> {
+        out.iter()
+            .filter_map(|o| match o {
+                FdOutput::Suspected(s) => Some(*s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delivery_without_expectation() {
+        let mut fd = fd();
+        let out = fd.on_receive(t(0), ProcessId(2), "hello");
+        assert!(matches!(
+            &out[..],
+            [FdOutput::Deliver { from, msg }] if *from == ProcessId(2) && *msg == "hello"
+        ));
+        assert!(fd.suspected_set().is_empty());
+    }
+
+    #[test]
+    fn expectation_met_in_time() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "commit", |m| *m == "commit");
+        assert_eq!(fd.pending_expectations(), 1);
+        let out = fd.on_receive(t(0), ProcessId(2), "commit");
+        assert_eq!(out.len(), 1); // just the delivery, no suspicion change
+        assert_eq!(fd.pending_expectations(), 0);
+        assert_eq!(fd.stats().expectations_met, 1);
+        assert!(fd.poll(t(1000)).is_empty());
+        assert!(fd.suspected_set().is_empty());
+    }
+
+    #[test]
+    fn non_matching_message_does_not_fulfil() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "commit", |m| *m == "commit");
+        fd.on_receive(t(0), ProcessId(2), "gossip");
+        assert_eq!(fd.pending_expectations(), 1);
+        // Matching message from the wrong sender does not fulfil either:
+        fd.on_receive(t(0), ProcessId(3), "commit");
+        assert_eq!(fd.pending_expectations(), 1);
+    }
+
+    #[test]
+    fn expectation_completeness_suspects_on_timeout() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "commit", |m| *m == "commit");
+        // Before the deadline: no suspicion.
+        assert!(fd.poll(t(0)).is_empty());
+        // After the deadline (default initial timeout 1ms):
+        let out = fd.poll(t(2));
+        let sets = suspected_events(&out);
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].contains(ProcessId(2)));
+        assert_eq!(fd.stats().expectations_expired, 1);
+        assert_eq!(fd.stats().suspicions_raised, 1);
+    }
+
+    #[test]
+    fn late_message_cancels_suspicion_and_backs_off() {
+        let mut fd = fd();
+        let before = fd.current_timeout(ProcessId(2));
+        fd.expect(t(0), ProcessId(2), "commit", |m| *m == "commit");
+        fd.poll(t(2));
+        assert!(fd.is_suspected(ProcessId(2)));
+        let out = fd.on_receive(t(3), ProcessId(2), "commit");
+        let sets = suspected_events(&out);
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].is_empty());
+        assert!(fd.current_timeout(ProcessId(2)) > before, "timeout backed off");
+        assert_eq!(fd.stats().suspicions_cancelled, 1);
+    }
+
+    #[test]
+    fn eventual_detection_raise_cancel_cycle() {
+        // A peer that is repeatedly late is suspected and un-suspected over
+        // and over (eventual detection), with growing timeouts.
+        let mut fd = fd();
+        let mut raised = 0;
+        let mut clock = t(0);
+        for _ in 0..5 {
+            fd.expect(clock, ProcessId(3), "hb", |m| *m == "hb");
+            let deadline = fd.next_deadline().unwrap();
+            clock = deadline + SimDuration::millis(1);
+            let out = fd.poll(clock);
+            raised += suspected_events(&out).len();
+            fd.on_receive(clock, ProcessId(3), "hb");
+        }
+        assert_eq!(raised, 5);
+        assert_eq!(fd.stats().suspicions_raised, 5);
+        assert_eq!(fd.stats().suspicions_cancelled, 5);
+        // Timeout doubled five times: 1ms → 32ms.
+        assert_eq!(fd.current_timeout(ProcessId(3)), SimDuration::millis(32));
+    }
+
+    #[test]
+    fn detection_is_permanent() {
+        let mut fd = fd();
+        let out = fd.detected(t(0), ProcessId(4));
+        assert_eq!(suspected_events(&out).len(), 1);
+        // Deliveries do not clear it; cancel does not clear it.
+        fd.on_receive(t(1), ProcessId(4), "anything");
+        fd.cancel_all(t(1));
+        assert!(fd.is_suspected(ProcessId(4)));
+        // Re-detection is idempotent.
+        let out = fd.detected(t(2), ProcessId(4));
+        assert!(out.is_empty());
+        assert_eq!(fd.stats().detections, 1);
+    }
+
+    #[test]
+    fn cancel_clears_expectations_and_suspicions() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "a", |m| *m == "a");
+        fd.expect(t(0), ProcessId(3), "b", |m| *m == "b");
+        fd.poll(t(5));
+        assert_eq!(fd.suspected_set().len(), 2);
+        let out = fd.cancel_all(t(5));
+        let sets = suspected_events(&out);
+        assert_eq!(sets.len(), 1);
+        assert!(sets[0].is_empty());
+        assert_eq!(fd.pending_expectations(), 0);
+        assert_eq!(fd.stats().expectations_cancelled, 2);
+        // Cancel without proof of falseness must not back off timeouts.
+        assert_eq!(fd.current_timeout(ProcessId(2)), SimDuration::millis(1));
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut fd = fd();
+        assert_eq!(fd.next_deadline(), None);
+        fd.expect(t(0), ProcessId(2), "a", |m| *m == "a");
+        fd.expect(t(5), ProcessId(3), "b", |m| *m == "b");
+        assert_eq!(fd.next_deadline(), Some(t(1)));
+        fd.poll(t(2)); // first expires
+        assert_eq!(fd.next_deadline(), Some(t(6)));
+    }
+
+    #[test]
+    fn multiple_expectations_same_peer() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "a", |m| *m == "a");
+        fd.expect(t(0), ProcessId(2), "b", |m| *m == "b");
+        fd.poll(t(2));
+        assert!(fd.is_suspected(ProcessId(2)));
+        // Meeting only one of the two keeps the suspicion (the other is
+        // still outstanding and expired).
+        let out = fd.on_receive(t(3), ProcessId(2), "a");
+        assert!(suspected_events(&out).is_empty());
+        assert!(fd.is_suspected(ProcessId(2)));
+        // Meeting the second clears it.
+        let out = fd.on_receive(t(3), ProcessId(2), "b");
+        assert_eq!(suspected_events(&out).len(), 1);
+        assert!(!fd.is_suspected(ProcessId(2)));
+    }
+
+    #[test]
+    fn one_message_can_meet_multiple_expectations() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "any", |_| true);
+        fd.expect(t(0), ProcessId(2), "exact", |m| *m == "x");
+        fd.on_receive(t(0), ProcessId(2), "x");
+        assert_eq!(fd.pending_expectations(), 0);
+        assert_eq!(fd.stats().expectations_met, 2);
+    }
+
+    #[test]
+    fn debug_formatting_is_nonempty() {
+        let mut fd = fd();
+        fd.expect(t(0), ProcessId(2), "commit", |m| *m == "commit");
+        let dbg = format!("{fd:?}");
+        assert!(dbg.contains("commit"));
+        assert!(dbg.contains("FailureDetector"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Adaptive per-peer timeouts.
+
+use qsel_simnet::SimDuration;
+
+/// Per-peer adaptive timeout with exponential back-off on false suspicion.
+///
+/// Timing failures cannot be detected in an asynchronous system (paper
+/// §II); in an eventually-synchronous one, *increasing* timing failures can
+/// be detected eventually. The back-off realises the other direction of
+/// that argument: every falsely-suspected correct peer doubles its timeout,
+/// so after GST the timeout eventually exceeds the true delay bound and
+/// false suspicions stop — giving eventual strong accuracy.
+///
+/// # Example
+///
+/// ```
+/// use qsel_detector::TimeoutPolicy;
+/// use qsel_simnet::SimDuration;
+///
+/// let mut t = TimeoutPolicy::new(SimDuration::millis(1), SimDuration::secs(10));
+/// assert_eq!(t.current(), SimDuration::millis(1));
+/// t.back_off();
+/// assert_eq!(t.current(), SimDuration::millis(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeoutPolicy {
+    current: SimDuration,
+    cap: SimDuration,
+    back_offs: u32,
+}
+
+impl TimeoutPolicy {
+    /// Creates a policy starting at `initial`, never exceeding `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is zero or exceeds `cap`.
+    pub fn new(initial: SimDuration, cap: SimDuration) -> Self {
+        assert!(initial > SimDuration::ZERO, "timeout must be positive");
+        assert!(initial <= cap, "initial timeout exceeds cap");
+        TimeoutPolicy {
+            current: initial,
+            cap,
+            back_offs: 0,
+        }
+    }
+
+    /// The current timeout Δ.
+    pub fn current(&self) -> SimDuration {
+        self.current
+    }
+
+    /// Doubles the timeout (capped); called when a suspicion against this
+    /// peer turns out false.
+    pub fn back_off(&mut self) {
+        self.back_offs += 1;
+        self.current = self.current.saturating_mul(2).min(self.cap);
+    }
+
+    /// How many times this peer caused a back-off.
+    pub fn back_off_count(&self) -> u32 {
+        self.back_offs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_cap() {
+        let mut t = TimeoutPolicy::new(SimDuration::micros(100), SimDuration::micros(350));
+        t.back_off();
+        assert_eq!(t.current(), SimDuration::micros(200));
+        t.back_off();
+        assert_eq!(t.current(), SimDuration::micros(350)); // capped
+        t.back_off();
+        assert_eq!(t.current(), SimDuration::micros(350));
+        assert_eq!(t.back_off_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_initial_rejected() {
+        let _ = TimeoutPolicy::new(SimDuration::ZERO, SimDuration::secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cap")]
+    fn initial_above_cap_rejected() {
+        let _ = TimeoutPolicy::new(SimDuration::secs(2), SimDuration::secs(1));
+    }
+}

@@ -1,0 +1,349 @@
+//! Independent-set solvers for the suspect graph.
+//!
+//! Algorithm 1 (line 27 and 31) needs two operations:
+//!
+//! * decide whether the suspect graph contains an independent set of size
+//!   `q`, and
+//! * if so, return the **first independent set of size `q` in
+//!   lexicographic order** (Section VI-B: "If multiple independent sets of
+//!   size q are found, the first in lexicographical order is chosen"),
+//!   so that all correct processes deterministically pick the same quorum.
+//!
+//! Lexicographic order compares the sorted member sequences, so
+//! `{p1, p2, p5} < {p1, p3, p4}`.
+//!
+//! The solver is an exact backtracking search over node ids in increasing
+//! order, which visits candidate sets in exactly lexicographic order and
+//! therefore returns the first solution it completes. Two prunings keep it
+//! fast on the graphs Quorum Selection produces:
+//!
+//! * *counting*: stop a branch when too few nodes remain;
+//! * *degree* (from the key observation in the Theorem 3 proof): when
+//!   searching for an independent set of size `q` in a graph on `n = f + q`
+//!   nodes, a node with degree ≥ f + 1 can never participate, because its
+//!   neighbourhood and itself exceed the `f` exclusions available.
+
+use qsel_types::{ProcessId, ProcessSet};
+
+use crate::graph::SuspectGraph;
+
+impl SuspectGraph {
+    /// Whether the graph contains an independent set of exactly `size`
+    /// nodes. (Any independent set of size ≥ `size` contains one of size
+    /// `size`, so this is the paper's "contains no independent set of size
+    /// q" test, Algorithm 1 line 27.)
+    pub fn has_independent_set(&self, size: u32) -> bool {
+        self.first_independent_set(size).is_some()
+    }
+
+    /// The lexicographically first independent set of `size` nodes, if any.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qsel_graph::SuspectGraph;
+    /// let g = SuspectGraph::from_edges(4, &[(1, 2)]);
+    /// let s = g.first_independent_set(3).unwrap();
+    /// assert_eq!(s.iter().map(|p| p.0).collect::<Vec<_>>(), vec![1, 3, 4]);
+    /// ```
+    pub fn first_independent_set(&self, size: u32) -> Option<ProcessSet> {
+        self.first_independent_set_impl(size, true)
+    }
+
+    /// Ablation/reference variant of [`Self::first_independent_set`]
+    /// without the Theorem 3 degree pruning. Same results, used to
+    /// quantify what the pruning buys (see the `graph_solvers` bench and
+    /// experiment E-ABL).
+    pub fn first_independent_set_no_prune(&self, size: u32) -> Option<ProcessSet> {
+        self.first_independent_set_impl(size, false)
+    }
+
+    fn first_independent_set_impl(&self, size: u32, prune: bool) -> Option<ProcessSet> {
+        if size == 0 {
+            return Some(ProcessSet::new());
+        }
+        if size > self.n() {
+            return None;
+        }
+        // Degree pruning (Theorem 3 key observation): nodes of degree
+        // ≥ n - size + 1 cannot be in an independent set of `size` nodes.
+        let mut banned: u128 = 0;
+        if prune {
+            let max_degree = self.n() - size;
+            for v in self.nodes() {
+                if self.degree(v) > max_degree {
+                    banned |= 1u128 << v.index();
+                }
+            }
+        }
+        let mut chosen: u128 = 0;
+        if self.search(size, 0, banned, &mut chosen) {
+            Some(bits_to_set(chosen))
+        } else {
+            None
+        }
+    }
+
+    /// Exhaustively counts independent sets of exactly `size` nodes.
+    /// Exponential; intended for tests and the adversary's strategy search
+    /// on small graphs.
+    pub fn count_independent_sets(&self, size: u32) -> u64 {
+        fn go(g: &SuspectGraph, need: u32, from: usize, banned: u128) -> u64 {
+            if need == 0 {
+                return 1;
+            }
+            let n = g.n() as usize;
+            let mut total = 0;
+            for i in from..n {
+                if n - i < need as usize {
+                    break;
+                }
+                if banned & (1u128 << i) != 0 {
+                    continue;
+                }
+                let v = ProcessId::from_index(i);
+                total += go(g, need - 1, i + 1, banned | g.adj_bits(v));
+            }
+            total
+        }
+        go(self, size, 0, 0)
+    }
+
+    /// The maximum independent-set size (exact branch and bound).
+    pub fn max_independent_set_size(&self) -> u32 {
+        // Binary-search-free simple approach: try decreasing sizes.
+        // The decision solver is fast for sizes near n on sparse graphs and
+        // fails fast for infeasible large sizes on dense graphs.
+        for size in (0..=self.n()).rev() {
+            if self.has_independent_set(size) {
+                return size;
+            }
+        }
+        0
+    }
+
+    fn search(&self, need: u32, from: usize, banned: u128, chosen: &mut u128) -> bool {
+        if need == 0 {
+            return true;
+        }
+        let n = self.n() as usize;
+        for i in from..n {
+            if n - i < need as usize {
+                return false; // not enough nodes left
+            }
+            if banned & (1u128 << i) != 0 {
+                continue;
+            }
+            let v = ProcessId::from_index(i);
+            *chosen |= 1u128 << i;
+            if self.search(need - 1, i + 1, banned | self.adj_bits(v), chosen) {
+                return true;
+            }
+            *chosen &= !(1u128 << i);
+        }
+        false
+    }
+}
+
+fn bits_to_set(bits: u128) -> ProcessSet {
+    let mut s = ProcessSet::new();
+    let mut rest = bits;
+    while rest != 0 {
+        let tz = rest.trailing_zeros();
+        rest &= rest - 1;
+        s.insert(ProcessId(tz + 1));
+    }
+    s
+}
+
+/// Reference implementation: enumerates all `size`-subsets in lexicographic
+/// order and returns the first independent one. Exponential — tests only.
+pub fn brute_force_first_independent_set(g: &SuspectGraph, size: u32) -> Option<ProcessSet> {
+    let n = g.n() as usize;
+    let k = size as usize;
+    if k > n {
+        return None;
+    }
+    if k == 0 {
+        return Some(ProcessSet::new());
+    }
+    // Standard k-combination enumeration in lexicographic order.
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        let set: ProcessSet = idx.iter().map(|&i| ProcessId::from_index(i)).collect();
+        if g.is_independent(&set) {
+            return Some(set);
+        }
+        // Advance to next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return None;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph_first_set_is_prefix() {
+        let g = SuspectGraph::new(6);
+        let s = g.first_independent_set(4).unwrap();
+        assert_eq!(s.iter().map(|p| p.0).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn size_zero_always_exists() {
+        let g = SuspectGraph::from_edges(2, &[(1, 2)]);
+        assert!(g.has_independent_set(0));
+    }
+
+    #[test]
+    fn complete_graph_has_only_singletons() {
+        let mut g = SuspectGraph::new(4);
+        for a in 1..=4u32 {
+            for b in a + 1..=4 {
+                g.add_edge(ProcessId(a), ProcessId(b));
+            }
+        }
+        assert!(g.has_independent_set(1));
+        assert!(!g.has_independent_set(2));
+        assert_eq!(g.max_independent_set_size(), 1);
+    }
+
+    /// Figure 4 of the paper (reconstruction consistent with the caption):
+    /// in epoch 2 the suspect graph has edges (1,2), (2,3), (2,5), (1,5)
+    /// re-stamped in the current epoch plus the stale edge (3,4), and no
+    /// independent set of size 3 exists.
+    #[test]
+    fn fig4_epoch2_no_quorum() {
+        let g = SuspectGraph::from_edges(5, &[(1, 2), (2, 3), (2, 5), (1, 5), (3, 4)]);
+        assert!(!g.has_independent_set(3));
+        assert_eq!(g.max_independent_set_size(), 2);
+    }
+
+    /// Figure 4, epoch 3: "the edge between p3 and p4 will be removed and
+    /// {p1, p3, p4} and {p3, p4, p5} are independent sets". The
+    /// lexicographically first is {p1, p3, p4}.
+    #[test]
+    fn fig4_epoch3_quorum_found() {
+        let g = SuspectGraph::from_edges(5, &[(1, 2), (2, 3), (2, 5), (1, 5)]);
+        let first: ProcessSet = [1, 3, 4].into_iter().map(ProcessId).collect();
+        let second: ProcessSet = [3, 4, 5].into_iter().map(ProcessId).collect();
+        assert!(g.is_independent(&first));
+        assert!(g.is_independent(&second));
+        let s = g.first_independent_set(3).unwrap();
+        assert_eq!(s, first);
+    }
+
+    #[test]
+    fn count_independent_sets_small() {
+        // Path 1-2-3: independent sets of size 2: {1,3} only.
+        let g = SuspectGraph::from_edges(3, &[(1, 2), (2, 3)]);
+        assert_eq!(g.count_independent_sets(2), 1);
+        assert_eq!(g.count_independent_sets(1), 3);
+        assert_eq!(g.count_independent_sets(0), 1);
+        assert_eq!(g.count_independent_sets(3), 0);
+    }
+
+    #[test]
+    fn solver_matches_brute_force_on_fixed_graphs() {
+        let cases: Vec<(u32, Vec<(u32, u32)>)> = vec![
+            (5, vec![(1, 2), (2, 3), (3, 4), (4, 5), (5, 1)]), // 5-cycle
+            (6, vec![(1, 4), (2, 5), (3, 6)]),                 // perfect matching
+            (7, vec![(1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7)]), // star
+        ];
+        for (n, edges) in cases {
+            let g = SuspectGraph::from_edges(n, &edges);
+            for size in 0..=n {
+                assert_eq!(
+                    g.first_independent_set(size),
+                    brute_force_first_independent_set(&g, size),
+                    "n={n} size={size} edges={edges:?}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The backtracking solver agrees with brute-force enumeration on
+        /// random graphs (both existence and lexicographic minimality).
+        #[test]
+        fn prop_solver_matches_brute_force(
+            n in 2u32..9,
+            edge_bits in proptest::collection::vec(any::<bool>(), 36),
+            size in 0u32..9,
+        ) {
+            let mut g = SuspectGraph::new(n);
+            let mut k = 0;
+            for a in 1..=n {
+                for b in a + 1..=n {
+                    if edge_bits[k % edge_bits.len()] {
+                        g.add_edge(ProcessId(a), ProcessId(b));
+                    }
+                    k += 1;
+                }
+            }
+            let size = size.min(n);
+            prop_assert_eq!(
+                g.first_independent_set(size),
+                brute_force_first_independent_set(&g, size)
+            );
+        }
+
+        /// Any returned set is independent and has the requested size.
+        #[test]
+        fn prop_returned_set_is_valid(
+            n in 2u32..12,
+            seed in any::<u64>(),
+            size in 1u32..12,
+        ) {
+            let mut g = SuspectGraph::new(n);
+            let mut state = seed;
+            for a in 1..=n {
+                for b in a + 1..=n {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if state >> 63 == 1 {
+                        g.add_edge(ProcessId(a), ProcessId(b));
+                    }
+                }
+            }
+            let size = size.min(n);
+            if let Some(s) = g.first_independent_set(size) {
+                prop_assert_eq!(s.len() as u32, size);
+                prop_assert!(g.is_independent(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_pruning_consistent() {
+        // A node connected to everything else is pruned for any size ≥ 2,
+        // and the result still matches brute force.
+        let mut g = SuspectGraph::new(8);
+        for b in 2..=8u32 {
+            g.add_edge(ProcessId(1), ProcessId(b));
+        }
+        for size in 0..=8u32 {
+            assert_eq!(
+                g.first_independent_set(size),
+                brute_force_first_independent_set(&g, size)
+            );
+        }
+    }
+}

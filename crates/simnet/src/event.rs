@@ -1,0 +1,78 @@
+//! Internal event-queue plumbing.
+
+use std::cmp::Ordering;
+
+use qsel_types::ProcessId;
+
+use crate::time::SimTime;
+
+/// Identifier an actor attaches to a timer it sets; returned verbatim in
+/// [`Actor::on_timer`](crate::Actor::on_timer).
+///
+/// Actors that need cancellation semantics use fresh ids per logical timer
+/// and ignore stale ones (generation pattern); the simulator never
+/// interprets the value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+#[derive(Debug)]
+pub(crate) enum Payload<M> {
+    Deliver { from: ProcessId, msg: M },
+    Timer { id: TimerId },
+}
+
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub to: ProcessId,
+    pub payload: Payload<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedEvent<M> {}
+
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEvent<M> {
+    /// Reversed so that `BinaryHeap` pops the *earliest* event; ties break
+    /// on insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn heap_pops_earliest_first_then_fifo() {
+        let mut heap: BinaryHeap<QueuedEvent<()>> = BinaryHeap::new();
+        for (time, seq) in [(5u64, 0u64), (3, 1), (3, 2), (4, 3)] {
+            heap.push(QueuedEvent {
+                time: SimTime::from_micros(time),
+                seq,
+                to: ProcessId(1),
+                payload: Payload::Timer { id: TimerId(seq) },
+            });
+        }
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time.as_micros(), e.seq))
+            .collect();
+        assert_eq!(order, vec![(3, 1), (3, 2), (4, 3), (5, 0)]);
+    }
+}

@@ -1,0 +1,688 @@
+//! The simulation driver.
+
+use std::collections::{BTreeMap, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qsel_types::ProcessId;
+
+use crate::delay::DelayModel;
+use crate::event::{Payload, QueuedEvent, TimerId};
+use crate::time::{SimDuration, SimTime};
+
+/// A protocol participant driven by the simulator.
+///
+/// Implementations are sans-io state machines: they never block, never read
+/// clocks other than [`Context::now`], and emit all effects through the
+/// [`Context`]. Byzantine participants are just `Actor` implementations
+/// that deviate from the protocol.
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ProcessId, msg: M);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId);
+}
+
+/// The interface through which an [`Actor`] interacts with the world.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    me: ProcessId,
+    now: SimTime,
+    sends: &'a mut Vec<(ProcessId, M)>,
+    timers: &'a mut Vec<(SimDuration, TimerId)>,
+}
+
+impl<M> Context<'_, M> {
+    /// The id of the acting process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the (possibly faulty) network. Self-sends
+    /// are allowed and also travel through the network.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Sends `msg` to every id in `targets`.
+    pub fn send_all<I>(&mut self, targets: I, msg: M)
+    where
+        I: IntoIterator<Item = ProcessId>,
+        M: Clone,
+    {
+        for to in targets {
+            self.sends.push((to, msg.clone()));
+        }
+    }
+
+    /// Requests a timer callback `after` from now, tagged with `id`.
+    pub fn set_timer(&mut self, after: SimDuration, id: TimerId) {
+        self.timers.push((after, id));
+    }
+}
+
+/// Static simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of actors (ids `p_1, …, p_k`; may exceed the protocol's `n`,
+    /// e.g. for clients).
+    pub actors: u32,
+    /// RNG seed; every run with the same seed, config and actor behaviour
+    /// is identical.
+    pub seed: u64,
+    /// Default link delay model.
+    pub delay: DelayModel,
+    /// Enforce per-link FIFO delivery (Section VIII of the paper assumes
+    /// FIFO order between correct processes).
+    pub fifo: bool,
+    /// Safety valve: `run_to_quiescence` panics after this many steps.
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// A configuration with `actors` actors and the default delay model.
+    pub fn new(actors: u32, seed: u64) -> Self {
+        SimConfig {
+            actors,
+            seed,
+            delay: DelayModel::default(),
+            fifo: true,
+            max_steps: 20_000_000,
+        }
+    }
+
+    /// Replaces the delay model.
+    #[must_use]
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Enables or disables FIFO links.
+    #[must_use]
+    pub fn with_fifo(mut self, fifo: bool) -> Self {
+        self.fifo = fifo;
+        self
+    }
+}
+
+/// Fault state of one directed link.
+#[derive(Clone, Debug, Default)]
+pub struct LinkState {
+    /// Drop every message on this link (a repeated omission failure on an
+    /// individual link, Section II).
+    pub drop_all: bool,
+    /// Drop each message independently with this probability.
+    pub drop_prob: f64,
+    /// Extra delay added to every message (a timing failure on an
+    /// individual link).
+    pub extra_delay: SimDuration,
+    /// Override the default delay model for this link.
+    pub delay_override: Option<DelayModel>,
+}
+
+/// Aggregate network statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Messages handed to the network by actors.
+    pub messages_sent: u64,
+    /// Messages delivered to a live actor.
+    pub messages_delivered: u64,
+    /// Messages dropped by link faults or crashed receivers.
+    pub messages_dropped: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Per-kind send counts, if a classifier was installed.
+    pub by_kind: BTreeMap<&'static str, u64>,
+}
+
+/// A deterministic discrete-event simulation over actors of type `A`
+/// exchanging messages of type `M`.
+///
+/// See the [crate documentation](crate) for an example.
+pub struct Simulation<M, A> {
+    cfg: SimConfig,
+    actors: Vec<A>,
+    crashed: Vec<bool>,
+    links: Vec<LinkState>,
+    fifo_last: Vec<SimTime>,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    started: bool,
+    stats: NetStats,
+    classifier: Option<Box<dyn Fn(&M) -> &'static str>>,
+    scratch_sends: Vec<(ProcessId, M)>,
+    scratch_timers: Vec<(SimDuration, TimerId)>,
+}
+
+impl<M, A: Actor<M>> Simulation<M, A> {
+    /// Creates a simulation with one actor per id `p_1, …, p_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actors.len()` does not match `cfg.actors`.
+    pub fn new(cfg: SimConfig, actors: Vec<A>) -> Self {
+        assert_eq!(
+            actors.len(),
+            cfg.actors as usize,
+            "actor count must match configuration"
+        );
+        let k = cfg.actors as usize;
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Simulation {
+            actors,
+            crashed: vec![false; k],
+            links: (0..k * k).map(|_| LinkState::default()).collect(),
+            fifo_last: vec![SimTime::ZERO; k * k],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng,
+            started: false,
+            stats: NetStats::default(),
+            classifier: None,
+            scratch_sends: Vec::new(),
+            scratch_timers: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Installs a message classifier for per-kind statistics
+    /// ([`NetStats::by_kind`]).
+    pub fn set_classifier(&mut self, f: impl Fn(&M) -> &'static str + 'static) {
+        self.classifier = Some(Box::new(f));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Immutable access to an actor (for assertions and result reporting).
+    pub fn actor(&self, id: ProcessId) -> &A {
+        &self.actors[id.index()]
+    }
+
+    /// Mutable access to an actor (e.g. for injecting client commands).
+    /// Side effects produced this way do not pass through a [`Context`];
+    /// prefer timers or messages for anything the protocol should see.
+    pub fn actor_mut(&mut self, id: ProcessId) -> &mut A {
+        &mut self.actors[id.index()]
+    }
+
+    /// All actor ids.
+    pub fn ids(&self) -> impl Iterator<Item = ProcessId> + Clone + use<M, A> {
+        (1..=self.cfg.actors).map(ProcessId)
+    }
+
+    /// Marks `p` as crashed: it receives no further events and its future
+    /// sends are discarded. (A benign crash failure.)
+    pub fn crash(&mut self, p: ProcessId) {
+        self.crashed[p.index()] = true;
+    }
+
+    /// Whether `p` has crashed.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// Replaces the fault state of the directed link `from → to`.
+    ///
+    /// # Example
+    ///
+    /// Cutting one direction of one link (a per-link omission fault):
+    ///
+    /// ```
+    /// # use qsel_simnet::*;
+    /// # use qsel_types::ProcessId;
+    /// # struct Quiet;
+    /// # impl Actor<u8> for Quiet {
+    /// #     fn on_start(&mut self, _: &mut Context<'_, u8>) {}
+    /// #     fn on_message(&mut self, _: &mut Context<'_, u8>, _: ProcessId, _: u8) {}
+    /// #     fn on_timer(&mut self, _: &mut Context<'_, u8>, _: TimerId) {}
+    /// # }
+    /// let mut sim = Simulation::new(SimConfig::new(2, 0), vec![Quiet, Quiet]);
+    /// sim.set_link(ProcessId(1), ProcessId(2), LinkState { drop_all: true, ..Default::default() });
+    /// ```
+    pub fn set_link(&mut self, from: ProcessId, to: ProcessId, state: LinkState) {
+        let idx = self.link_index(from, to);
+        self.links[idx] = state;
+    }
+
+    /// Resets the directed link `from → to` to the healthy default.
+    pub fn heal_link(&mut self, from: ProcessId, to: ProcessId) {
+        self.set_link(from, to, LinkState::default());
+    }
+
+    /// Symmetrically partitions `group` from everyone else (drops all
+    /// messages crossing the cut, both directions).
+    pub fn partition(&mut self, group: &[ProcessId]) {
+        let in_group = |p: ProcessId| group.contains(&p);
+        let all: Vec<ProcessId> = self.ids().collect();
+        for &a in &all {
+            for &b in &all {
+                if a != b && in_group(a) != in_group(b) {
+                    self.set_link(
+                        a,
+                        b,
+                        LinkState {
+                            drop_all: true,
+                            ..Default::default()
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Heals every link.
+    pub fn heal_all(&mut self) {
+        for l in &mut self.links {
+            *l = LinkState::default();
+        }
+    }
+
+    /// Schedules an externally-injected message (e.g. a client request from
+    /// outside the simulated cluster) for delivery at `at`.
+    pub fn inject_at(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: M) {
+        debug_assert!(at >= self.now, "cannot inject into the past");
+        let seq = self.next_seq();
+        self.queue.push(QueuedEvent {
+            time: at.max(self.now),
+            seq,
+            to,
+            payload: Payload::Deliver { from, msg },
+        });
+    }
+
+    /// Runs `on_start` on every actor if not yet done. Called implicitly by
+    /// the run methods; exposed so tests can interleave configuration.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 1..=self.cfg.actors {
+            let id = ProcessId(id);
+            if !self.crashed[id.index()] {
+                self.dispatch(id, |actor, ctx| actor.on_start(ctx));
+            }
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue out of order");
+        self.now = ev.time;
+        let to = ev.to;
+        if self.crashed[to.index()] {
+            if matches!(ev.payload, Payload::Deliver { .. }) {
+                self.stats.messages_dropped += 1;
+            }
+            return true;
+        }
+        match ev.payload {
+            Payload::Deliver { from, msg } => {
+                self.stats.messages_delivered += 1;
+                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            Payload::Timer { id } => {
+                self.stats.timers_fired += 1;
+                self.dispatch(to, |actor, ctx| actor.on_timer(ctx, id));
+            }
+        }
+        true
+    }
+
+    /// Runs until no event at time ≤ `until` remains, then advances the
+    /// clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        let mut steps = 0u64;
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > until {
+                break;
+            }
+            self.step();
+            steps += 1;
+            assert!(
+                steps <= self.cfg.max_steps,
+                "simulation exceeded {} steps before {until}",
+                self.cfg.max_steps
+            );
+        }
+        self.now = until;
+    }
+
+    /// Runs until the event queue is fully drained. Returns the number of
+    /// steps taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `cfg.max_steps` steps — protocols with periodic
+    /// re-arming timers never quiesce; use [`Simulation::run_until`] for
+    /// those.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.start();
+        let mut steps = 0u64;
+        while self.step() {
+            steps += 1;
+            assert!(
+                steps <= self.cfg.max_steps,
+                "simulation did not quiesce within {} steps",
+                self.cfg.max_steps
+            );
+        }
+        steps
+    }
+
+    fn dispatch<F>(&mut self, id: ProcessId, f: F)
+    where
+        F: FnOnce(&mut A, &mut Context<'_, M>),
+    {
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        sends.clear();
+        timers.clear();
+        {
+            let mut ctx = Context {
+                me: id,
+                now: self.now,
+                sends: &mut sends,
+                timers: &mut timers,
+            };
+            f(&mut self.actors[id.index()], &mut ctx);
+        }
+        for (after, tid) in timers.drain(..) {
+            let seq = self.next_seq();
+            self.queue.push(QueuedEvent {
+                time: self.now + after,
+                seq,
+                to: id,
+                payload: Payload::Timer { id: tid },
+            });
+        }
+        for (to, msg) in sends.drain(..) {
+            self.route(id, to, msg);
+        }
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
+    }
+
+    fn route(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        assert!(
+            to.0 >= 1 && to.0 <= self.cfg.actors,
+            "send to unknown actor {to}"
+        );
+        self.stats.messages_sent += 1;
+        if let Some(classify) = &self.classifier {
+            *self.stats.by_kind.entry(classify(&msg)).or_insert(0) += 1;
+        }
+        let idx = self.link_index(from, to);
+        let link = &self.links[idx];
+        if link.drop_all || (link.drop_prob > 0.0 && self.rng.random::<f64>() < link.drop_prob) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let model = link.delay_override.unwrap_or(self.cfg.delay);
+        let mut deliver_at = self.now + model.sample(&mut self.rng, self.now) + link.extra_delay;
+        if self.cfg.fifo {
+            let floor = self.fifo_last[idx] + SimDuration::micros(1);
+            if deliver_at < floor {
+                deliver_at = floor;
+            }
+            self.fifo_last[idx] = deliver_at;
+        }
+        let seq = self.next_seq();
+        self.queue.push(QueuedEvent {
+            time: deliver_at,
+            seq,
+            to,
+            payload: Payload::Deliver { from, msg },
+        });
+    }
+
+    fn link_index(&self, from: ProcessId, to: ProcessId) -> usize {
+        from.index() * self.cfg.actors as usize + to.index()
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts received pings; replies pong to the first; re-arms a timer
+    /// a fixed number of times.
+    struct Counter {
+        pings: u32,
+        pongs: u32,
+        timers: u32,
+        arm: u32,
+    }
+
+    impl Counter {
+        fn new(arm: u32) -> Self {
+            Counter {
+                pings: 0,
+                pongs: 0,
+                timers: 0,
+                arm,
+            }
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Actor<Msg> for Counter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            // Timer-mode counters (arm > 0) run in single-actor sims and
+            // must not send; ping-mode counters drive the 2-actor tests.
+            if ctx.me() == ProcessId(1) && self.arm == 0 {
+                ctx.send(ProcessId(2), Msg::Ping);
+                ctx.send(ProcessId(2), Msg::Ping);
+            }
+            if self.arm > 0 {
+                ctx.set_timer(SimDuration::micros(10), TimerId(0));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+            match msg {
+                Msg::Ping => {
+                    self.pings += 1;
+                    if self.pings == 1 {
+                        ctx.send(from, Msg::Pong);
+                    }
+                }
+                Msg::Pong => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId) {
+            self.timers += 1;
+            if self.timers < self.arm {
+                ctx.set_timer(SimDuration::micros(10), TimerId(0));
+            }
+        }
+    }
+
+    fn two(seed: u64) -> Simulation<Msg, Counter> {
+        Simulation::new(SimConfig::new(2, seed), vec![Counter::new(0), Counter::new(0)])
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let mut sim = two(1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 2);
+        assert_eq!(sim.actor(ProcessId(1)).pongs, 1);
+        assert_eq!(sim.stats().messages_sent, 3);
+        assert_eq!(sim.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn fifo_preserves_order_even_with_random_delays() {
+        // With FIFO on, the two pings sent back-to-back arrive in order;
+        // we detect misordering by replying only to the first ping and
+        // checking the timeline: delivered count must be 3 in all seeds.
+        for seed in 0..50 {
+            let mut sim = two(seed);
+            sim.run_to_quiescence();
+            assert_eq!(sim.actor(ProcessId(2)).pings, 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn drop_all_link() {
+        let mut sim = two(3);
+        sim.set_link(
+            ProcessId(1),
+            ProcessId(2),
+            LinkState {
+                drop_all: true,
+                ..Default::default()
+            },
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0);
+        assert_eq!(sim.stats().messages_dropped, 2);
+    }
+
+    #[test]
+    fn crash_drops_delivery() {
+        let mut sim = two(4);
+        sim.start();
+        sim.crash(ProcessId(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0);
+        assert_eq!(sim.stats().messages_dropped, 2);
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut sim = Simulation::new(
+            SimConfig::new(1, 5),
+            vec![Counter::new(4)],
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(1)).timers, 4);
+        assert_eq!(sim.stats().timers_fired, 4);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let trace = |seed: u64| {
+            let mut sim = two(seed);
+            sim.run_to_quiescence();
+            (
+                sim.now(),
+                sim.stats().messages_delivered,
+                sim.actor(ProcessId(1)).pongs,
+            )
+        };
+        assert_eq!(trace(7), trace(7));
+    }
+
+    #[test]
+    fn classifier_counts_kinds() {
+        let mut sim = two(6);
+        sim.set_classifier(|m| match m {
+            Msg::Ping => "ping",
+            Msg::Pong => "pong",
+        });
+        sim.run_to_quiescence();
+        assert_eq!(sim.stats().by_kind["ping"], 2);
+        assert_eq!(sim.stats().by_kind["pong"], 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock() {
+        let mut sim = two(8);
+        sim.run_until(SimTime::from_micros(5));
+        assert_eq!(sim.now(), SimTime::from_micros(5));
+        sim.run_until(SimTime::from_micros(10_000));
+        assert_eq!(sim.now(), SimTime::from_micros(10_000));
+        assert_eq!(sim.actor(ProcessId(2)).pings, 2);
+    }
+
+    #[test]
+    fn injection() {
+        let mut sim = two(9);
+        sim.inject_at(SimTime::from_micros(50), ProcessId(2), ProcessId(2), Msg::Ping);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 3);
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let mut sim = two(10);
+        sim.partition(&[ProcessId(1)]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0);
+        sim.heal_all();
+        sim.inject_at(sim.now(), ProcessId(1), ProcessId(1), Msg::Pong); // poke p1
+        sim.run_to_quiescence();
+        // p1 got a pong injection; no new pings were produced by protocol.
+        assert_eq!(sim.actor(ProcessId(1)).pongs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn runaway_timer_detected() {
+        let mut cfg = SimConfig::new(1, 11);
+        cfg.max_steps = 100;
+        let mut sim = Simulation::new(cfg, vec![Counter::new(u32::MAX)]);
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn per_link_extra_delay_is_timing_fault() {
+        let mut sim = two(12);
+        sim.set_link(
+            ProcessId(1),
+            ProcessId(2),
+            LinkState {
+                extra_delay: SimDuration::millis(100),
+                ..Default::default()
+            },
+        );
+        sim.run_until(SimTime::from_micros(50_000));
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0, "still in flight");
+        sim.run_until(SimTime::from_micros(200_000));
+        assert_eq!(sim.actor(ProcessId(2)).pings, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic binary encoding for signed payloads.
+//!
+//! The protocols in this workspace sign message payloads (`⟨UPDATE, …⟩_σ`,
+//! `⟨FOLLOWERS, …⟩_σ`, XPaxos `PREPARE`/`COMMIT`). Signatures are computed
+//! over a canonical byte encoding so that "two different signed payloads"
+//! (equivocation) is a well-defined notion. The encoding is intentionally
+//! simple and hand-rolled: fixed-width little-endian integers with
+//! length-prefixed sequences, written into a [`bytes::BufMut`].
+//!
+//! # Example
+//!
+//! ```
+//! use qsel_types::encode::{Encode, encode_to_vec};
+//!
+//! #[derive(Debug)]
+//! struct Pair(u32, u64);
+//! impl Encode for Pair {
+//!     fn encode(&self, buf: &mut Vec<u8>) {
+//!         self.0.encode(buf);
+//!         self.1.encode(buf);
+//!     }
+//! }
+//!
+//! let bytes = encode_to_vec(&Pair(1, 2));
+//! assert_eq!(bytes.len(), 12);
+//! ```
+
+use bytes::BufMut;
+
+use crate::{Epoch, ProcessId, ProcessSet};
+
+/// A type with a canonical, deterministic byte encoding.
+///
+/// Implementations must be *injective* for the message space they are used
+/// on: distinct values encode to distinct byte strings. All provided
+/// implementations achieve this with fixed-width integers and explicit
+/// length prefixes.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+}
+
+/// Encodes `value` into a fresh vector.
+pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    value.encode(&mut buf);
+    buf
+}
+
+impl Encode for u8 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(*self);
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(*self);
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(*self);
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(u8::from(*self));
+    }
+}
+
+impl Encode for ProcessId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Encode for Epoch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Encode for ProcessSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let members: Vec<ProcessId> = self.iter().collect();
+        members.as_slice().encode(buf);
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_slice().encode(buf);
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_str().encode(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_fixed_width() {
+        assert_eq!(encode_to_vec(&7u8).len(), 1);
+        assert_eq!(encode_to_vec(&7u32).len(), 4);
+        assert_eq!(encode_to_vec(&7u64).len(), 8);
+    }
+
+    #[test]
+    fn sequences_are_length_prefixed() {
+        let v = vec![1u32, 2, 3];
+        let bytes = encode_to_vec(&v);
+        assert_eq!(bytes.len(), 8 + 3 * 4);
+        // Distinct splits encode differently: [1,2] vs [1],[2] concatenated.
+        let a = encode_to_vec(&vec![1u32, 2]);
+        let mut b = encode_to_vec(&vec![1u32]);
+        b.extend(encode_to_vec(&vec![2u32]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn process_set_encodes_sorted_members() {
+        let s: ProcessSet = [3, 1].into_iter().map(ProcessId).collect();
+        let t: ProcessSet = [1, 3].into_iter().map(ProcessId).collect();
+        assert_eq!(encode_to_vec(&s), encode_to_vec(&t));
+    }
+
+    #[test]
+    fn strings_roundtrip_distinctly() {
+        assert_ne!(encode_to_vec("ab"), encode_to_vec("ba"));
+        assert_ne!(encode_to_vec(""), encode_to_vec("a"));
+    }
+
+    #[test]
+    fn tuples_concatenate() {
+        let bytes = encode_to_vec(&(1u32, 2u64));
+        assert_eq!(bytes.len(), 12);
+    }
+}

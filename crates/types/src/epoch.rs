@@ -1,0 +1,89 @@
+//! Epoch counters for Algorithm 1 and Algorithm 2.
+
+use std::fmt;
+
+/// An epoch of the quorum-selection protocol.
+///
+/// Suspicions are stamped with the epoch in which they were last raised
+/// (Algorithm 1 line 14). The suspect graph of epoch `e` contains an edge
+/// `(l, k)` iff `suspected[l][k] ≥ e` or `suspected[k][l] ≥ e` (Section VI-B).
+/// Epochs start at 1; the value 0 is reserved to mean "never suspected" in
+/// the `suspected` matrix.
+///
+/// # Example
+///
+/// ```
+/// use qsel_types::Epoch;
+/// let e = Epoch::initial();
+/// assert_eq!(e.get(), 1);
+/// assert_eq!(e.next().get(), 2);
+/// assert!(Epoch::NEVER < e);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The sentinel stored in the `suspected` matrix for "never suspected"
+    /// (the matrix is "initially all 0", Algorithm 1 line 6).
+    pub const NEVER: Epoch = Epoch(0);
+
+    /// The first epoch (`epoch = 1`, Algorithm 1 line 5).
+    pub fn initial() -> Self {
+        Epoch(1)
+    }
+
+    /// The numeric value of the epoch.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The following epoch (`epoch + 1`, Algorithm 1 line 28).
+    #[must_use]
+    pub fn next(self) -> Self {
+        Epoch(self.0 + 1)
+    }
+
+    /// Whether a suspicion stamped with `self` is visible in the suspect
+    /// graph of epoch `at`: `self ≥ at` and `self` is not [`Self::NEVER`].
+    #[inline]
+    pub fn visible_at(self, at: Epoch) -> bool {
+        self != Epoch::NEVER && self >= at
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl Default for Epoch {
+    /// The default epoch is [`Epoch::initial`], matching Algorithm 1's
+    /// initial state.
+    fn default() -> Self {
+        Epoch::initial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_next() {
+        assert!(Epoch(1) < Epoch(2));
+        assert_eq!(Epoch(1).next(), Epoch(2));
+        assert_eq!(Epoch::default(), Epoch::initial());
+    }
+
+    #[test]
+    fn visibility() {
+        assert!(Epoch(3).visible_at(Epoch(3)));
+        assert!(Epoch(4).visible_at(Epoch(3)));
+        assert!(!Epoch(2).visible_at(Epoch(3)));
+        // NEVER is invisible even at epoch 0.
+        assert!(!Epoch::NEVER.visible_at(Epoch(0)));
+        assert!(!Epoch::NEVER.visible_at(Epoch(1)));
+    }
+}

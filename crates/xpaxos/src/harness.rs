@@ -1,0 +1,244 @@
+//! Ready-made simulation harness: replicas + clients + Byzantine variants.
+
+use qsel_simnet::{Actor, Context, SimConfig, SimDuration, Simulation, TimerId};
+use qsel_types::crypto::{Keychain, Signer};
+use qsel_types::{ClusterConfig, ProcessId};
+
+use crate::client::Client;
+use crate::messages::{PreparePayload, Request, XpMsg};
+use crate::replica::{Replica, ReplicaConfig};
+
+/// A participant of an XPaxos simulation.
+#[derive(Debug)]
+pub enum XpActor {
+    /// A correct replica.
+    Replica(Replica),
+    /// A client.
+    Client(Client),
+    /// A replica that never sends anything.
+    Mute,
+    /// A Byzantine leader that equivocates on the first request it sees
+    /// (sends conflicting PREPAREs to different followers), then goes
+    /// quiet.
+    Equivocator(Equivocator),
+}
+
+impl XpActor {
+    /// The wrapped replica, if any.
+    pub fn replica(&self) -> Option<&Replica> {
+        match self {
+            XpActor::Replica(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The wrapped client, if any.
+    pub fn client(&self) -> Option<&Client> {
+        match self {
+            XpActor::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl Actor<XpMsg> for XpActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        match self {
+            XpActor::Replica(r) => r.handle_start(ctx),
+            XpActor::Client(c) => c.on_start(ctx),
+            XpActor::Mute => {}
+            XpActor::Equivocator(_) => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, XpMsg>, from: ProcessId, msg: XpMsg) {
+        match self {
+            XpActor::Replica(r) => r.handle_message(ctx, from, msg),
+            XpActor::Client(c) => c.on_message(ctx, from, msg),
+            XpActor::Mute => {}
+            XpActor::Equivocator(e) => e.on_message(ctx, msg),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, XpMsg>, timer: TimerId) {
+        match self {
+            XpActor::Replica(r) => r.handle_timer(ctx, timer),
+            XpActor::Client(c) => c.on_timer(ctx, timer),
+            XpActor::Mute => {}
+            XpActor::Equivocator(_) => {}
+        }
+    }
+}
+
+/// Byzantine leader: equivocates once (conflicting PREPAREs for slot 0 in
+/// view 0), providing the commission-failure evidence the failure
+/// detector's `⟨DETECTED⟩` path needs.
+#[derive(Debug)]
+pub struct Equivocator {
+    cfg: ClusterConfig,
+    signer: Signer,
+    fired: bool,
+}
+
+impl Equivocator {
+    /// An equivocator that must be placed at the view-0 leader (`p_1`).
+    pub fn new(cfg: ClusterConfig, chain: &Keychain, me: ProcessId) -> Self {
+        Equivocator {
+            cfg,
+            signer: chain.signer(me),
+            fired: false,
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, XpMsg>, msg: XpMsg) {
+        let XpMsg::Request(req) = msg else { return };
+        if self.fired {
+            return;
+        }
+        self.fired = true;
+        let me = self.signer.id();
+        let make = |payload: u64| -> PreparePayload {
+            PreparePayload {
+                view: 0,
+                slot: 0,
+                req: Request {
+                    client: req.client,
+                    op: req.op,
+                    payload,
+                },
+            }
+        };
+        let members: Vec<ProcessId> = self
+            .cfg
+            .default_quorum_members()
+            .into_iter()
+            .filter(|p| *p != me)
+            .collect();
+        for (i, k) in members.iter().enumerate() {
+            // Half the followers see payload A, the rest payload B.
+            let payload = if i % 2 == 0 { 1 } else { 2 };
+            ctx.send(*k, XpMsg::Prepare(self.signer.sign(make(payload))));
+        }
+    }
+}
+
+/// Builder for an XPaxos simulation: `n` replicas (ids `1..=n`) and
+/// `clients` client actors (ids `n+1..`).
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+    rcfg: ReplicaConfig,
+    clients: u32,
+    ops_per_client: u64,
+    seed: u64,
+    retry: SimDuration,
+}
+
+impl ClusterBuilder {
+    /// A builder with the given cluster shape.
+    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        ClusterBuilder {
+            cfg,
+            rcfg: ReplicaConfig::default(),
+            clients: 1,
+            ops_per_client: 10,
+            seed,
+            retry: SimDuration::millis(20),
+        }
+    }
+
+    /// Sets the replica configuration.
+    #[must_use]
+    pub fn replica_config(mut self, rcfg: ReplicaConfig) -> Self {
+        self.rcfg = rcfg;
+        self
+    }
+
+    /// Sets the client count and per-client operation budget.
+    #[must_use]
+    pub fn clients(mut self, clients: u32, ops_per_client: u64) -> Self {
+        self.clients = clients;
+        self.ops_per_client = ops_per_client;
+        self
+    }
+
+    /// Sets the client retry interval.
+    #[must_use]
+    pub fn retry(mut self, retry: SimDuration) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The keychain the built cluster will use (for crafting Byzantine
+    /// actors that must share it).
+    pub fn keychain(&self) -> Keychain {
+        Keychain::new(&self.cfg, self.seed)
+    }
+
+    /// Builds the simulation, customizing individual replica actors via
+    /// `make_replica` (return `None` for the default correct replica).
+    pub fn build_with(
+        self,
+        mut make_replica: impl FnMut(ProcessId, &Keychain) -> Option<XpActor>,
+    ) -> Simulation<XpMsg, XpActor> {
+        let chain = self.keychain();
+        let total = self.cfg.n() + self.clients;
+        let mut actors: Vec<XpActor> = Vec::new();
+        for p in self.cfg.processes() {
+            let actor = make_replica(p, &chain).unwrap_or_else(|| {
+                XpActor::Replica(Replica::new(self.cfg, p, &chain, self.rcfg.clone()))
+            });
+            actors.push(actor);
+        }
+        for c in 0..self.clients {
+            let id = ProcessId(self.cfg.n() + c + 1);
+            actors.push(XpActor::Client(Client::new(
+                id,
+                self.cfg,
+                self.retry,
+                self.ops_per_client,
+            )));
+        }
+        let mut sim = Simulation::new(SimConfig::new(total, self.seed), actors);
+        sim.set_classifier(|m: &XpMsg| m.kind());
+        sim
+    }
+
+    /// Builds an all-correct cluster.
+    pub fn build(self) -> Simulation<XpMsg, XpActor> {
+        self.build_with(|_, _| None)
+    }
+}
+
+/// Asserts the fundamental safety property across all correct replicas:
+/// no two replicas executed different requests at the same slot.
+///
+/// # Panics
+///
+/// Panics with a description of the violation, if any.
+pub fn assert_safety(sim: &Simulation<XpMsg, XpActor>) {
+    let mut reference: std::collections::HashMap<u64, &Request> = std::collections::HashMap::new();
+    for id in sim.ids().collect::<Vec<_>>() {
+        if let Some(r) = sim.actor(id).replica() {
+            for (slot, req) in &r.log().executed {
+                match reference.get(slot) {
+                    None => {
+                        reference.insert(*slot, req);
+                    }
+                    Some(existing) => assert_eq!(
+                        **existing, *req,
+                        "safety violation at slot {slot}: {existing:?} vs {req:?} (replica {id})"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Total operations committed across all clients.
+pub fn total_committed(sim: &Simulation<XpMsg, XpActor>) -> u64 {
+    sim.ids()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .filter_map(|id| sim.actor(id).client().map(|c| c.committed_ops()))
+        .sum()
+}

@@ -1,0 +1,400 @@
+//! The replicated log: slots, prepare/commit certificates, in-order
+//! execution.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use qsel_types::{ProcessId, ProcessSet};
+
+use crate::messages::{Request, SignedCommit, SignedPrepare};
+
+/// Per-slot state.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// The accepted PREPARE (ours or embedded in a COMMIT that overtook
+    /// it).
+    pub prepare: SignedPrepare,
+    /// Signed COMMITs received, by sender (kept whole so decided slots
+    /// carry a transferable certificate).
+    pub commits: HashMap<ProcessId, SignedCommit>,
+    /// Whether we broadcast our own COMMIT for this slot.
+    pub committed_by_us: bool,
+    /// Whether the commit certificate is complete.
+    pub decided: bool,
+}
+
+impl Slot {
+    fn new(prepare: SignedPrepare) -> Self {
+        Slot {
+            prepare,
+            commits: HashMap::new(),
+            committed_by_us: false,
+            decided: false,
+        }
+    }
+}
+
+/// The replica's log and execution state.
+#[derive(Clone, Debug, Default)]
+pub struct Log {
+    slots: BTreeMap<u64, Slot>,
+    /// First slot not yet executed.
+    pub exec_cursor: u64,
+    /// Executed (slot, request) pairs, in execution order.
+    pub executed: Vec<(u64, Request)>,
+    /// State-machine state: a running digest-free fold of payloads.
+    pub state: u64,
+    /// Request dedup: (client, op) → slot.
+    assigned: HashMap<(ProcessId, u64), u64>,
+    /// Execution dedup: a request re-proposed at a second slot after a
+    /// view change must not be applied twice.
+    executed_ops: HashSet<(ProcessId, u64)>,
+}
+
+impl Log {
+    /// Creates an empty log starting execution at slot 0.
+    pub fn new() -> Self {
+        Log::default()
+    }
+
+    /// The slot a request was assigned to, if any (leader-side dedup).
+    pub fn slot_of(&self, req: &Request) -> Option<u64> {
+        self.assigned.get(&(req.client, req.op)).copied()
+    }
+
+    /// Records a PREPARE for its slot. Returns `false` (and changes
+    /// nothing) if the slot already holds a *different* prepare — the
+    /// caller decides whether that means equivocation (same view) or a
+    /// legitimate re-proposal (higher view, which replaces the entry).
+    pub fn accept_prepare(&mut self, prepare: SignedPrepare) -> bool {
+        let slot_no = prepare.payload.slot;
+        match self.slots.get_mut(&slot_no) {
+            None => {
+                self.assigned
+                    .insert((prepare.payload.req.client, prepare.payload.req.op), slot_no);
+                self.slots.insert(slot_no, Slot::new(prepare));
+                true
+            }
+            Some(existing) => {
+                if existing.prepare == prepare {
+                    true
+                } else if prepare.payload.view > existing.prepare.payload.view
+                    && !existing.decided
+                {
+                    // Re-proposal in a later view supersedes.
+                    self.assigned
+                        .insert((prepare.payload.req.client, prepare.payload.req.op), slot_no);
+                    *existing = Slot::new(prepare);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether `slot` currently holds a prepare.
+    pub fn prepare_at(&self, slot: u64) -> Option<&SignedPrepare> {
+        self.slots.get(&slot).map(|s| &s.prepare)
+    }
+
+    /// Access a slot.
+    pub fn slot(&self, slot: u64) -> Option<&Slot> {
+        self.slots.get(&slot)
+    }
+
+    /// Marks that we broadcast our own COMMIT for `slot`.
+    pub fn mark_committed_by_us(&mut self, slot: u64) {
+        if let Some(s) = self.slots.get_mut(&slot) {
+            s.committed_by_us = true;
+        }
+    }
+
+    /// Records a signed COMMIT. Returns `true` if its digest matches the
+    /// accepted prepare's request digest.
+    pub fn record_commit(&mut self, slot: u64, commit: SignedCommit) -> bool {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return false;
+        };
+        let matches = s.prepare.payload.req.digest() == commit.payload.digest;
+        s.commits.insert(commit.signer, commit);
+        matches
+    }
+
+    /// Checks the commit rule: PREPARE present and matching COMMITs from
+    /// every non-leader quorum member (`me`'s own commit counts via
+    /// `committed_by_us`). Marks and returns newly decided slots.
+    pub fn try_decide(
+        &mut self,
+        slot: u64,
+        quorum: &ProcessSet,
+        leader: ProcessId,
+        me: ProcessId,
+    ) -> bool {
+        let Some(s) = self.slots.get_mut(&slot) else {
+            return false;
+        };
+        if s.decided {
+            return false;
+        }
+        let want = s.prepare.payload.req.digest();
+        let all_in = quorum.iter().filter(|p| *p != leader).all(|p| {
+            if p == me {
+                s.committed_by_us
+            } else {
+                s.commits.get(&p).is_some_and(|c| c.payload.digest == want)
+            }
+        });
+        if all_in {
+            s.decided = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Executes decided slots in order from the cursor; returns the
+    /// executed (slot, request) pairs. A request already executed at an
+    /// earlier slot is skipped as a no-op (its slot still advances the
+    /// cursor).
+    pub fn execute_ready(&mut self) -> Vec<(u64, Request)> {
+        let mut out = Vec::new();
+        while let Some(s) = self.slots.get(&self.exec_cursor) {
+            if !s.decided {
+                break;
+            }
+            let req = s.prepare.payload.req.clone();
+            if self.executed_ops.insert((req.client, req.op)) {
+                self.state = self
+                    .state
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(req.payload);
+                out.push((self.exec_cursor, req.clone()));
+                self.executed.push((self.exec_cursor, req));
+            }
+            self.exec_cursor += 1;
+        }
+        out
+    }
+
+    /// Prepared entries at or above `from_slot` (for VIEW-CHANGE
+    /// messages): slots where we sent a COMMIT, plus decided ones.
+    /// Slots below the watermark are covered by certificates / state
+    /// transfer and need not be re-proposed.
+    pub fn prepared_entries_from(&self, from_slot: u64) -> Vec<SignedPrepare> {
+        self.slots
+            .range(from_slot..)
+            .map(|(_, s)| s)
+            .filter(|s| s.committed_by_us || s.decided)
+            .map(|s| s.prepare.clone())
+            .collect()
+    }
+
+    /// The watermark: every slot below it is decided and executed.
+    pub fn watermark(&self) -> u64 {
+        self.exec_cursor
+    }
+
+    /// The transferable certificate of a decided slot: the accepted
+    /// PREPARE plus every recorded signed COMMIT.
+    pub fn certificate(&self, slot: u64) -> Option<(SignedPrepare, Vec<SignedCommit>)> {
+        let s = self.slots.get(&slot)?;
+        if !s.decided {
+            return None;
+        }
+        Some((s.prepare.clone(), s.commits.values().cloned().collect()))
+    }
+
+    /// Adopts a verified decided entry (state transfer / lazy
+    /// replication): stores the prepare with its commit certificate and
+    /// marks the slot decided. A conflicting *decided* entry is never
+    /// overwritten; returns `false` in that case.
+    pub fn adopt_decided(&mut self, prepare: SignedPrepare, commits: Vec<SignedCommit>) -> bool {
+        let slot_no = prepare.payload.slot;
+        match self.slots.get_mut(&slot_no) {
+            Some(existing) if existing.decided => existing.prepare.payload.req == prepare.payload.req,
+            existing => {
+                self.assigned
+                    .insert((prepare.payload.req.client, prepare.payload.req.op), slot_no);
+                let mut slot = Slot::new(prepare);
+                slot.decided = true;
+                slot.commits = commits.into_iter().map(|c| (c.signer, c)).collect();
+                match existing {
+                    Some(e) => *e = slot,
+                    None => {
+                        self.slots.insert(slot_no, slot);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Highest slot number that holds a prepare.
+    pub fn max_slot(&self) -> Option<u64> {
+        self.slots.keys().next_back().copied()
+    }
+
+    /// Number of decided slots.
+    pub fn decided_count(&self) -> usize {
+        self.slots.values().filter(|s| s.decided).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsel_types::crypto::Keychain;
+    use qsel_types::ClusterConfig;
+
+    use crate::messages::PreparePayload;
+
+    fn chain() -> Keychain {
+        Keychain::new(&ClusterConfig::new(4, 1).unwrap(), 1)
+    }
+
+    fn prep(chain: &Keychain, leader: u32, view: u64, slot: u64, payload: u64) -> SignedPrepare {
+        chain.signer(ProcessId(leader)).sign(PreparePayload {
+            view,
+            slot,
+            req: Request {
+                client: ProcessId(9),
+                op: slot + 1,
+                payload,
+            },
+        })
+    }
+
+    /// A signed COMMIT from `signer` for `prepare`, with an optionally
+    /// mismatched digest.
+    fn commit_for(
+        chain: &Keychain,
+        signer: u32,
+        prepare: &SignedPrepare,
+        digest: qsel_types::crypto::Digest,
+    ) -> crate::messages::SignedCommit {
+        chain.signer(ProcessId(signer)).sign(crate::messages::CommitPayload {
+            view: prepare.payload.view,
+            slot: prepare.payload.slot,
+            digest,
+            prepare: prepare.clone(),
+        })
+    }
+
+    #[test]
+    fn accept_and_dedup() {
+        let c = chain();
+        let mut log = Log::new();
+        let p = prep(&c, 1, 0, 0, 5);
+        assert!(log.accept_prepare(p.clone()));
+        assert!(log.accept_prepare(p.clone())); // idempotent
+        assert_eq!(log.slot_of(&p.payload.req), Some(0));
+        // Conflicting prepare in the same view is rejected.
+        let conflicting = prep(&c, 1, 0, 0, 6);
+        assert!(!log.accept_prepare(conflicting));
+    }
+
+    #[test]
+    fn higher_view_supersedes_undecided() {
+        let c = chain();
+        let mut log = Log::new();
+        log.accept_prepare(prep(&c, 1, 0, 0, 5));
+        let newer = prep(&c, 2, 3, 0, 7);
+        assert!(log.accept_prepare(newer.clone()));
+        assert_eq!(log.prepare_at(0), Some(&newer));
+    }
+
+    #[test]
+    fn commit_rule_requires_all_nonleader_members() {
+        let c = chain();
+        let mut log = Log::new();
+        let p = prep(&c, 1, 0, 0, 5);
+        let digest = p.payload.req.digest();
+        log.accept_prepare(p);
+        let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
+        let me = ProcessId(2);
+        let leader = ProcessId(1);
+        // Own commit not yet sent: not decided.
+        let p0 = log.prepare_at(0).unwrap().clone();
+        log.record_commit(0, commit_for(&c, 3, &p0, digest));
+        assert!(!log.try_decide(0, &quorum, leader, me));
+        log.mark_committed_by_us(0);
+        assert!(log.try_decide(0, &quorum, leader, me));
+        // Second decide attempt returns false (already decided).
+        assert!(!log.try_decide(0, &quorum, leader, me));
+    }
+
+    #[test]
+    fn mismatched_digest_blocks_decision() {
+        let c = chain();
+        let mut log = Log::new();
+        let p = prep(&c, 1, 0, 0, 5);
+        let wrong = prep(&c, 1, 0, 1, 6).payload.req.digest();
+        log.accept_prepare(p);
+        log.mark_committed_by_us(0);
+        let p0 = log.prepare_at(0).unwrap().clone();
+        assert!(!log.record_commit(0, commit_for(&c, 3, &p0, wrong)));
+        let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
+        assert!(!log.try_decide(0, &quorum, ProcessId(1), ProcessId(2)));
+    }
+
+    #[test]
+    fn execution_in_order_with_gaps() {
+        let c = chain();
+        let mut log = Log::new();
+        for slot in [0u64, 1, 2] {
+            log.accept_prepare(prep(&c, 1, 0, slot, slot + 10));
+            log.mark_committed_by_us(slot);
+        }
+        let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
+        let digest_of = |log: &Log, s: u64| log.prepare_at(s).unwrap().payload.req.digest();
+        // Decide slots 0 and 2 (gap at 1).
+        for s in [0u64, 2] {
+            let d = digest_of(&log, s);
+            let pr = log.prepare_at(s).unwrap().clone();
+            log.record_commit(s, commit_for(&c, 3, &pr, d));
+            assert!(log.try_decide(s, &quorum, ProcessId(1), ProcessId(2)));
+        }
+        let executed = log.execute_ready();
+        assert_eq!(executed.len(), 1, "gap at slot 1 blocks slot 2");
+        assert_eq!(executed[0].0, 0);
+        // Fill the gap: slot 1 decided → 1 and 2 execute.
+        let d = digest_of(&log, 1);
+        let pr = log.prepare_at(1).unwrap().clone();
+        log.record_commit(1, commit_for(&c, 3, &pr, d));
+        assert!(log.try_decide(1, &quorum, ProcessId(1), ProcessId(2)));
+        let executed = log.execute_ready();
+        assert_eq!(executed.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(log.exec_cursor, 3);
+    }
+
+    #[test]
+    fn prepared_entries_for_view_change() {
+        let c = chain();
+        let mut log = Log::new();
+        log.accept_prepare(prep(&c, 1, 0, 0, 5));
+        log.accept_prepare(prep(&c, 1, 0, 1, 6));
+        log.mark_committed_by_us(0);
+        assert_eq!(log.prepared_entries_from(0).len(), 1);
+        assert_eq!(log.prepared_entries_from(1).len(), 0);
+    }
+
+    #[test]
+    fn deterministic_state_fold() {
+        let c = chain();
+        let run = || {
+            let mut log = Log::new();
+            let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
+            for slot in 0..5u64 {
+                log.accept_prepare(prep(&c, 1, 0, slot, slot * 3));
+                log.mark_committed_by_us(slot);
+                let pr = log.prepare_at(slot).unwrap().clone();
+                let d = pr.payload.req.digest();
+                log.record_commit(slot, commit_for(&c, 3, &pr, d));
+                log.try_decide(slot, &quorum, ProcessId(1), ProcessId(2));
+            }
+            log.execute_ready();
+            log.state
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,309 @@
+//! XPaxos wire messages (Fig. 2 / Fig. 3 of the paper, plus view change).
+
+use qsel::messages::SignedUpdate;
+use qsel_types::crypto::{sha256, Digest};
+use qsel_types::encode::{encode_to_vec, Encode};
+use qsel_types::{ProcessId, Signed};
+
+/// A client request. Clients are simulation actors with ids above the
+/// replica range; requests carry a per-client sequence number for
+/// deduplication and a payload the state machine folds into its state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// The issuing client (a simulation actor id).
+    pub client: ProcessId,
+    /// Client-local sequence number.
+    pub op: u64,
+    /// Operation payload.
+    pub payload: u64,
+}
+
+impl Request {
+    /// Digest of the request (carried in COMMIT messages, §V-A).
+    pub fn digest(&self) -> Digest {
+        sha256(&encode_to_vec(self))
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"REQS");
+        self.client.encode(buf);
+        self.op.encode(buf);
+        self.payload.encode(buf);
+    }
+}
+
+/// `PREPARE` payload: the leader proposes `req` at `slot` in `view`
+/// (§V-A step 1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PreparePayload {
+    /// The view this proposal belongs to.
+    pub view: u64,
+    /// The log slot.
+    pub slot: u64,
+    /// The client request.
+    pub req: Request,
+}
+
+impl Encode for PreparePayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"PREP");
+        self.view.encode(buf);
+        self.slot.encode(buf);
+        self.req.encode(buf);
+    }
+}
+
+/// A signed PREPARE.
+pub type SignedPrepare = Signed<PreparePayload>;
+
+/// `COMMIT` payload. Per the paper's second protocol change, a COMMIT
+/// includes the leader's PREPARE (so malformed COMMITs and leader
+/// equivocation are detectable), plus the request digest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CommitPayload {
+    /// View of the prepare being committed.
+    pub view: u64,
+    /// Slot of the prepare being committed.
+    pub slot: u64,
+    /// Digest of the client request.
+    pub digest: Digest,
+    /// The leader's PREPARE message (paper §V-A: "we therefore require
+    /// that a COMMIT includes the PREPARE message from the leader").
+    pub prepare: SignedPrepare,
+}
+
+impl Encode for CommitPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"CMMT");
+        self.view.encode(buf);
+        self.slot.encode(buf);
+        self.digest.encode(buf);
+        self.prepare.encode(buf);
+    }
+}
+
+/// A signed COMMIT.
+pub type SignedCommit = Signed<CommitPayload>;
+
+/// `VIEW-CHANGE` payload: sent when moving to `target_view`, carrying the
+/// sender's watermark (first non-executed slot — everything below it is
+/// decided) and its prepared entries above the watermark, so the new
+/// leader can preserve them without replaying history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViewChangePayload {
+    /// The view being installed.
+    pub target_view: u64,
+    /// First slot not yet decided-and-executed at the sender.
+    pub watermark: u64,
+    /// Entries the sender has prepared (sent a COMMIT for) at or above
+    /// its watermark, as the original signed PREPAREs.
+    pub prepared: Vec<SignedPrepare>,
+}
+
+impl Encode for ViewChangePayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"VCHG");
+        self.target_view.encode(buf);
+        self.watermark.encode(buf);
+        self.prepared.encode(buf);
+    }
+}
+
+/// A signed VIEW-CHANGE.
+pub type SignedViewChange = Signed<ViewChangePayload>;
+
+/// `NEW-VIEW` payload: the new leader's merged log; receivers adopt it and
+/// resume normal operation. The merged entries are re-proposed by fresh
+/// PREPAREs in the new view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NewViewPayload {
+    /// The view being activated.
+    pub view: u64,
+    /// Every slot below `base` is decided somewhere in the new quorum;
+    /// members behind it catch up via state transfer instead of
+    /// re-agreement.
+    pub base: u64,
+    /// Re-proposals for the undecided slots at or above `base`.
+    pub reproposals: Vec<SignedPrepare>,
+}
+
+impl Encode for NewViewPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"NVEW");
+        self.view.encode(buf);
+        self.base.encode(buf);
+        self.reproposals.encode(buf);
+    }
+}
+
+/// A signed NEW-VIEW.
+pub type SignedNewView = Signed<NewViewPayload>;
+
+/// A reply to a client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reply {
+    /// The replica's current view (for client leader-tracking).
+    pub view: u64,
+    /// The client's op number this reply answers.
+    pub op: u64,
+    /// Execution result (the slot, doubling as the state-machine output).
+    pub result: u64,
+}
+
+/// A liveness heartbeat exchanged among active-quorum members. The paper's
+/// failure classification (§II) assumes "every process is expected to send
+/// infinitely many messages … the case in systems that use heartbeats";
+/// this is that traffic, so crashes and per-link omissions are detected
+/// even while no client operations are in flight.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HeartbeatPayload {
+    /// Monotone sequence number.
+    pub seq: u64,
+}
+
+impl Encode for HeartbeatPayload {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"XHRT");
+        self.seq.encode(buf);
+    }
+}
+
+/// A signed heartbeat.
+pub type SignedHeartbeat = Signed<HeartbeatPayload>;
+
+/// A decided slot with its transferable certificate: the leader's
+/// PREPARE plus the signed COMMITs of every non-leader quorum member.
+/// Receivers verify the certificate before adopting the entry, so not
+/// even a Byzantine sender can forge decided state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecidedEntry {
+    /// The accepted prepare.
+    pub prepare: SignedPrepare,
+    /// The commit certificate.
+    pub commits: Vec<SignedCommit>,
+}
+
+impl Encode for DecidedEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"DCRT");
+        self.prepare.encode(buf);
+        self.commits.encode(buf);
+    }
+}
+
+/// All XPaxos wire messages.
+#[derive(Clone, Debug)]
+pub enum XpMsg {
+    /// Client → replicas.
+    Request(Request),
+    /// Leader → quorum (step 1).
+    Prepare(SignedPrepare),
+    /// Quorum member → quorum (step 2).
+    Commit(SignedCommit),
+    /// Replica → client (after execution).
+    Reply(Reply),
+    /// Any process → new leader on view change.
+    ViewChange(SignedViewChange),
+    /// New leader → all.
+    NewView(SignedNewView),
+    /// Piggybacked quorum-selection traffic.
+    Update(SignedUpdate),
+    /// Liveness heartbeat among active-quorum members.
+    Heartbeat(SignedHeartbeat),
+    /// Background replication of decided entries to passive replicas
+    /// (XPaxos's lazy replication), so their logs stay near the frontier
+    /// and view changes never replay history.
+    LazyUpdate {
+        /// Certified decided entries.
+        entries: Vec<DecidedEntry>,
+    },
+    /// Request for decided entries in `[from_slot, to_slot)` (state
+    /// transfer after a NEW-VIEW whose base is ahead of the requester).
+    StateFetch {
+        /// First wanted slot.
+        from_slot: u64,
+        /// One past the last wanted slot.
+        to_slot: u64,
+    },
+    /// Response to [`XpMsg::StateFetch`].
+    StateBatch {
+        /// Certified decided entries.
+        entries: Vec<DecidedEntry>,
+    },
+}
+
+impl XpMsg {
+    /// Kind tag for traffic accounting (experiment E8).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            XpMsg::Request(_) => "request",
+            XpMsg::Prepare(_) => "prepare",
+            XpMsg::Commit(_) => "commit",
+            XpMsg::Reply(_) => "reply",
+            XpMsg::ViewChange(_) => "view-change",
+            XpMsg::NewView(_) => "new-view",
+            XpMsg::Update(_) => "update",
+            XpMsg::Heartbeat(_) => "heartbeat",
+            XpMsg::LazyUpdate { .. } => "lazy-update",
+            XpMsg::StateFetch { .. } => "state-fetch",
+            XpMsg::StateBatch { .. } => "state-batch",
+        }
+    }
+
+    /// Whether this is inter-replica traffic (excludes client-facing
+    /// request/reply messages) — the quantity the paper's intro claims
+    /// Quorum Selection reduces by ~1/3 (3f+1 systems) or ~1/2 (2f+1).
+    pub fn is_inter_replica(&self) -> bool {
+        !matches!(self, XpMsg::Request(_) | XpMsg::Reply(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsel_types::crypto::Keychain;
+    use qsel_types::ClusterConfig;
+
+    #[test]
+    fn request_digest_distinguishes() {
+        let a = Request { client: ProcessId(9), op: 1, payload: 7 };
+        let mut b = a.clone();
+        b.payload = 8;
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn commit_embeds_prepare() {
+        let cfg = ClusterConfig::new(3, 1).unwrap();
+        let chain = Keychain::new(&cfg, 1);
+        let req = Request { client: ProcessId(9), op: 1, payload: 7 };
+        let prep = chain.signer(ProcessId(1)).sign(PreparePayload {
+            view: 0,
+            slot: 1,
+            req: req.clone(),
+        });
+        let commit = chain.signer(ProcessId(2)).sign(CommitPayload {
+            view: 0,
+            slot: 1,
+            digest: req.digest(),
+            prepare: prep.clone(),
+        });
+        assert!(chain.verifier().verify(&commit).is_ok());
+        assert!(chain.verifier().verify(&commit.payload.prepare).is_ok());
+        // Tampering with the embedded prepare breaks the outer signature.
+        let mut bad = commit.clone();
+        bad.payload.prepare.payload.slot = 9;
+        assert!(chain.verifier().verify(&bad).is_err());
+    }
+
+    #[test]
+    fn kinds_and_classification() {
+        let req = Request { client: ProcessId(9), op: 1, payload: 0 };
+        assert_eq!(XpMsg::Request(req.clone()).kind(), "request");
+        assert!(!XpMsg::Request(req).is_inter_replica());
+        assert!(XpMsg::Reply(Reply { view: 0, op: 1, result: 1 }).kind() == "reply");
+    }
+}

@@ -1,0 +1,185 @@
+//! View → quorum mapping.
+//!
+//! XPaxos enumerates all `C(n, f)` possible quorums ("synchronous groups")
+//! and assigns view `v` the `v`-th combination in lexicographic order,
+//! wrapping round-robin (paper §V-B). The leader of a view is the member
+//! with the lowest id (§V-A step 1).
+//!
+//! Quorum-Selection-driven replicas use the same numbering: when the
+//! selection module outputs `⟨QUORUM, Q⟩`, the replica "suspects all
+//! quorums ordered before Q" — i.e. jumps directly to the next view whose
+//! combination is `Q` ([`ViewPolicy::view_for_quorum`]).
+
+use qsel_types::{ClusterConfig, ProcessId, ProcessSet, Quorum};
+
+/// Lexicographic combination numbering of quorums.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewPolicy {
+    n: u32,
+    q: u32,
+}
+
+impl ViewPolicy {
+    /// Policy for quorums of size `q = n − f`.
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        ViewPolicy {
+            n: cfg.n(),
+            q: cfg.quorum_size(),
+        }
+    }
+
+    /// Total number of distinct quorums `C(n, q)`.
+    pub fn quorum_count(&self) -> u128 {
+        binomial(self.n as u64, self.q as u64)
+    }
+
+    /// The quorum of view `v` (the `v mod C(n,q)`-th combination in
+    /// lexicographic order).
+    pub fn group(&self, view: u64) -> Quorum {
+        let index = (view as u128 % self.quorum_count()) as u64;
+        Quorum::from_set_unchecked(self.unrank(index))
+    }
+
+    /// The leader of view `v`: the quorum member with the lowest id.
+    pub fn leader(&self, view: u64) -> ProcessId {
+        self.group(view).lowest()
+    }
+
+    /// The smallest view strictly greater than `after` whose quorum is
+    /// `target` (the §V-B jump).
+    pub fn view_for_quorum(&self, after: u64, target: &Quorum) -> u64 {
+        let count = self.quorum_count() as u64;
+        let rank = self.rank(target.members());
+        let base = after - after % count;
+        let candidate = base + rank;
+        if candidate > after {
+            candidate
+        } else {
+            candidate + count
+        }
+    }
+
+    /// Lexicographic rank of a combination (combinatorial number system).
+    fn rank(&self, set: &ProcessSet) -> u64 {
+        let members: Vec<u32> = set.iter().map(|p| p.0 - 1).collect(); // zero-based
+        debug_assert_eq!(members.len(), self.q as usize);
+        let mut rank: u128 = 0;
+        let mut prev: i64 = -1;
+        let mut remaining = self.q as u64;
+        for &m in &members {
+            for skipped in (prev + 1) as u32..m {
+                // Combinations starting with `skipped` in this position.
+                rank += binomial(
+                    (self.n - skipped - 1) as u64,
+                    remaining - 1,
+                );
+            }
+            prev = m as i64;
+            remaining -= 1;
+        }
+        rank as u64
+    }
+
+    /// Inverse of [`Self::rank`].
+    fn unrank(&self, mut index: u64) -> ProcessSet {
+        let mut set = ProcessSet::new();
+        let mut next = 0u32; // zero-based candidate
+        let mut remaining = self.q;
+        let mut idx = index as u128;
+        while remaining > 0 {
+            let count = binomial((self.n - next - 1) as u64, (remaining - 1) as u64);
+            if idx < count {
+                set.insert(ProcessId(next + 1));
+                remaining -= 1;
+            } else {
+                idx -= count;
+            }
+            next += 1;
+            assert!(next <= self.n, "unrank index out of range");
+        }
+        index = idx as u64;
+        let _ = index;
+        set
+    }
+}
+
+/// Binomial coefficient.
+fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: u32, f: u32) -> ClusterConfig {
+        ClusterConfig::new(n, f).unwrap()
+    }
+
+    #[test]
+    fn view0_is_initial_quorum() {
+        let p = ViewPolicy::new(&cfg(5, 2));
+        assert_eq!(p.group(0), Quorum::initial(&cfg(5, 2)));
+        assert_eq!(p.leader(0), ProcessId(1));
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic() {
+        let p = ViewPolicy::new(&cfg(4, 1)); // q = 3, C(4,3) = 4 quorums
+        let seq: Vec<Vec<u32>> = (0..5)
+            .map(|v| p.group(v).iter().map(|x| x.0).collect())
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                vec![1, 2, 3],
+                vec![1, 2, 4],
+                vec![1, 3, 4],
+                vec![2, 3, 4],
+                vec![1, 2, 3], // round robin wrap
+            ]
+        );
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        let p = ViewPolicy::new(&cfg(7, 2)); // q = 5, C(7,5) = 21
+        for v in 0..21u64 {
+            let g = p.group(v);
+            assert_eq!(p.rank(g.members()) as u64, v, "view {v}");
+        }
+    }
+
+    #[test]
+    fn view_for_quorum_jumps_forward() {
+        let p = ViewPolicy::new(&cfg(4, 1));
+        let target = p.group(2);
+        assert_eq!(p.view_for_quorum(0, &target), 2);
+        // Already at or past the target's rank: wrap to the next cycle.
+        assert_eq!(p.view_for_quorum(2, &target), 6);
+        assert_eq!(p.view_for_quorum(3, &target), 6);
+        // Target rank 0 from view 0 → full wrap.
+        let first = p.group(0);
+        assert_eq!(p.view_for_quorum(0, &first), 4);
+    }
+
+    #[test]
+    fn leaders_follow_lowest_member() {
+        let p = ViewPolicy::new(&cfg(4, 1));
+        assert_eq!(p.leader(3), ProcessId(2)); // quorum {2,3,4}
+    }
+
+    #[test]
+    fn quorum_count() {
+        assert_eq!(ViewPolicy::new(&cfg(7, 2)).quorum_count(), 21);
+        assert_eq!(ViewPolicy::new(&cfg(10, 3)).quorum_count(), 120);
+    }
+}

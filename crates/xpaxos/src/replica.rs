@@ -1,0 +1,1132 @@
+//! The XPaxos replica.
+//!
+//! Normal case (paper §V-A, Fig. 2): the lowest-id member of the active
+//! quorum leads; it assigns slots to client requests and sends `PREPARE`s
+//! to the quorum; members broadcast `COMMIT`s (which embed the `PREPARE`,
+//! per the paper's protocol change) and decide once every non-leader
+//! member's matching `COMMIT` arrived.
+//!
+//! Failure-detector integration (§V-A): receiving or sending a `PREPARE`
+//! issues expectations for the `COMMIT`s of every other quorum member —
+//! unless a member's `COMMIT` already arrived (first subtlety). A `COMMIT`
+//! overtaking its `PREPARE` (Fig. 3) makes the receiver commit anyway and
+//! expect the `PREPARE` from the leader (third subtlety). Malformed
+//! `COMMIT`s and leader equivocation raise `⟨DETECTED⟩` (second subtlety).
+//!
+//! Quorum changes (§V-B): with [`QuorumPolicy::Enumeration`] the replica
+//! round-robins through all `C(n, f)` quorums — the paper's XPaxos
+//! baseline. With [`QuorumPolicy::Selection`] a [`QuorumSelection`] module
+//! drives it: on `⟨QUORUM, Q⟩` the replica jumps straight to the view
+//! whose group is `Q`, suspecting every quorum ordered before it, and
+//! invokes `⟨CANCEL⟩` on the failure detector.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use qsel::{QsOutput, QuorumSelection};
+use qsel_detector::{FailureDetector, FdConfig, FdOutput};
+use qsel_simnet::{Context, SimDuration, TimerId};
+use qsel_types::crypto::{Keychain, Signer, Verifier};
+use qsel_types::{ClusterConfig, ProcessId, Quorum};
+
+use crate::log::Log;
+use crate::messages::{
+    CommitPayload, DecidedEntry, HeartbeatPayload, NewViewPayload, PreparePayload, Reply, Request,
+    SignedCommit, SignedNewView, SignedPrepare, SignedViewChange, ViewChangePayload, XpMsg,
+};
+use crate::policy::ViewPolicy;
+
+const TIMER_FD_POLL: TimerId = TimerId(1);
+const TIMER_HEARTBEAT: TimerId = TimerId(2);
+const TIMER_LAZY: TimerId = TimerId(3);
+const TIMER_VC_BASE: u64 = 1000;
+
+/// How the replica chooses the next quorum after a suspicion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuorumPolicy {
+    /// The paper's XPaxos baseline: try quorums one after the other in
+    /// enumeration order.
+    Enumeration,
+    /// Quorum Selection (Algorithm 1) picks the quorum; the replica jumps
+    /// to its view directly.
+    Selection,
+}
+
+/// Replica configuration.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// Quorum-change policy.
+    pub policy: QuorumPolicy,
+    /// Failure-detector timeouts.
+    pub fd: FdConfig,
+    /// Stall timeout for a pending view change (used by the enumeration
+    /// policy, whose only recovery mechanism is "try the next quorum").
+    pub view_change_timeout: SimDuration,
+    /// Heartbeat period among active-quorum members (paper §II assumes
+    /// heartbeat-style traffic so omission/crash failures surface even
+    /// when no client operations are in flight).
+    pub heartbeat_period: SimDuration,
+    /// Period of the leader's lazy replication of decided entries to
+    /// passive replicas (XPaxos's background replication). Keeps every
+    /// log near the frontier so view changes never replay history.
+    pub lazy_period: SimDuration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            policy: QuorumPolicy::Selection,
+            fd: FdConfig {
+                initial_timeout: SimDuration::millis(2),
+                ..FdConfig::default()
+            },
+            view_change_timeout: SimDuration::millis(10),
+            heartbeat_period: SimDuration::millis(3),
+            lazy_period: SimDuration::millis(10),
+        }
+    }
+}
+
+/// Counters for experiments and assertions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaStats {
+    /// View changes initiated or joined.
+    pub view_changes: u64,
+    /// Views successfully installed (NEW-VIEW processed).
+    pub views_installed: u64,
+    /// Slots decided.
+    pub decided: u64,
+    /// Requests executed.
+    pub executed: u64,
+    /// `⟨DETECTED⟩` events raised (commission failures proven).
+    pub detections: u64,
+    /// Client requests forwarded to the leader.
+    pub forwarded: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Normal,
+    ViewChange { target: u64 },
+}
+
+/// An XPaxos replica (drive it through [`crate::harness::XpActor`] or call
+/// the `handle_*` methods from a custom host).
+pub struct Replica {
+    cfg: ClusterConfig,
+    rcfg: ReplicaConfig,
+    me: ProcessId,
+    signer: Signer,
+    verifier: Verifier,
+    views: ViewPolicy,
+    fd: FailureDetector<XpMsg>,
+    qs: Option<QuorumSelection>,
+    log: Log,
+    view: u64,
+    phase: Phase,
+    next_slot: u64,
+    vc_gen: u64,
+    collected_vc: HashMap<u64, HashMap<ProcessId, SignedViewChange>>,
+    /// Whether the NEW-VIEW expectation for the current target is armed.
+    nv_expected: bool,
+    pending_requests: Vec<Request>,
+    /// PREPARE/COMMIT traffic that arrived mid view change (or for a view
+    /// ahead of ours), replayed once the next view is installed so brief
+    /// view-change windows do not turn into false omission suspicions at
+    /// the senders.
+    pending_protocol: std::collections::VecDeque<XpMsg>,
+    /// First decided slot not yet shipped by lazy replication (leader).
+    lazy_sent: u64,
+    hb_seq: u64,
+    stats: ReplicaStats,
+    view_history: Vec<(qsel_simnet::SimTime, u64)>,
+}
+
+/// Deferred effects produced while handling one event.
+#[derive(Debug, Default)]
+struct Outs {
+    sends: Vec<(ProcessId, XpMsg)>,
+    timers: Vec<(SimDuration, TimerId)>,
+}
+
+impl Replica {
+    /// Creates a replica.
+    pub fn new(
+        cfg: ClusterConfig,
+        me: ProcessId,
+        chain: &Keychain,
+        rcfg: ReplicaConfig,
+    ) -> Self {
+        let qs = match rcfg.policy {
+            QuorumPolicy::Selection => Some(QuorumSelection::new(
+                cfg,
+                me,
+                chain.signer(me),
+                chain.verifier(),
+            )),
+            QuorumPolicy::Enumeration => None,
+        };
+        Replica {
+            me,
+            signer: chain.signer(me),
+            verifier: chain.verifier(),
+            views: ViewPolicy::new(&cfg),
+            fd: FailureDetector::new(me, cfg.n(), rcfg.fd.clone()),
+            qs,
+            log: Log::new(),
+            view: 0,
+            phase: Phase::Normal,
+            next_slot: 0,
+            vc_gen: 0,
+            collected_vc: HashMap::new(),
+            nv_expected: false,
+            pending_requests: Vec::new(),
+            pending_protocol: std::collections::VecDeque::new(),
+            lazy_sent: 0,
+            hb_seq: 0,
+            stats: ReplicaStats::default(),
+            view_history: Vec::new(),
+            cfg,
+            rcfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public inspection API
+    // ------------------------------------------------------------------
+
+    /// Current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Whether the replica is in normal operation (not mid view change).
+    pub fn is_normal(&self) -> bool {
+        self.phase == Phase::Normal
+    }
+
+    /// The active quorum of the current view.
+    pub fn active_quorum(&self) -> Quorum {
+        self.views.group(self.view)
+    }
+
+    /// The current leader.
+    pub fn leader(&self) -> ProcessId {
+        self.views.leader(self.view)
+    }
+
+    /// The replicated log.
+    pub fn log(&self) -> &Log {
+        &self.log
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.stats
+    }
+
+    /// The quorum-selection module, in [`QuorumPolicy::Selection`] mode.
+    pub fn quorum_selection(&self) -> Option<&QuorumSelection> {
+        self.qs.as_ref()
+    }
+
+    /// Installed views with their installation times (diagnosis aid).
+    pub fn view_history(&self) -> &[(qsel_simnet::SimTime, u64)] {
+        &self.view_history
+    }
+
+    /// Failure-detector statistics.
+    pub fn fd_stats(&self) -> qsel_detector::FdStats {
+        self.fd.stats()
+    }
+
+    /// This replica's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    // ------------------------------------------------------------------
+    // Event entry points (called by the harness actor)
+    // ------------------------------------------------------------------
+
+    /// Starts the replica (arms the heartbeat and failure-detector poll
+    /// timers).
+    pub fn handle_start(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        let mut outs = Outs::default();
+        self.heartbeat_tick(ctx.now(), &mut outs);
+        outs.timers.push((self.rcfg.lazy_period, TIMER_LAZY));
+        self.flush(ctx, outs);
+    }
+
+    /// Handles a delivered message. `link_sender` is the network-level
+    /// sender, used only to route state-transfer responses (the protocol
+    /// messages inside are self-authenticating).
+    pub fn handle_message(
+        &mut self,
+        ctx: &mut Context<'_, XpMsg>,
+        link_sender: ProcessId,
+        msg: XpMsg,
+    ) {
+        let mut outs = Outs::default();
+        match msg {
+            XpMsg::Request(req) => {
+                self.on_request(ctx.now(), req, &mut outs);
+            }
+            XpMsg::Reply(_) => {} // replicas ignore replies
+            XpMsg::StateFetch { from_slot, to_slot } => {
+                self.on_state_fetch(link_sender, from_slot, to_slot, &mut outs);
+            }
+            XpMsg::LazyUpdate { entries } | XpMsg::StateBatch { entries } => {
+                // Certificates are self-authenticating; adopt what
+                // verifies. A StateBatch additionally fulfils the fetch
+                // expectation, which flows through the detector below.
+                self.adopt_entries(entries, &mut outs);
+                if let Some(origin) = Some(link_sender) {
+                    let fd_out = self.fd.on_receive(
+                        ctx.now(),
+                        origin,
+                        XpMsg::StateBatch { entries: Vec::new() },
+                    );
+                    self.pump_fd(ctx.now(), fd_out, &mut outs);
+                }
+            }
+            other => {
+                // Replica-to-replica traffic is authenticated and flows
+                // through the failure detector (Fig. 1).
+                if let Some(origin) = self.authenticate(&other) {
+                    let fd_out = self.fd.on_receive(ctx.now(), origin, other);
+                    self.pump_fd(ctx.now(), fd_out, &mut outs);
+                }
+            }
+        }
+        self.flush(ctx, outs);
+    }
+
+    /// Handles a timer event.
+    pub fn handle_timer(&mut self, ctx: &mut Context<'_, XpMsg>, timer: TimerId) {
+        let mut outs = Outs::default();
+        match timer {
+            TIMER_FD_POLL => {
+                let fd_out = self.fd.poll(ctx.now());
+                self.pump_fd(ctx.now(), fd_out, &mut outs);
+            }
+            TIMER_HEARTBEAT => {
+                self.heartbeat_tick(ctx.now(), &mut outs);
+            }
+            TIMER_LAZY => {
+                self.lazy_tick(&mut outs);
+            }
+            TimerId(id) if id >= TIMER_VC_BASE => {
+                // View-change stall timer (enumeration policy): if the
+                // targeted view never activated, try the next quorum.
+                let gen = id - TIMER_VC_BASE;
+                if gen == self.vc_gen
+                    && self.rcfg.policy == QuorumPolicy::Enumeration
+                {
+                    if let Phase::ViewChange { target } = self.phase {
+                        self.start_view_change(ctx.now(), target + 1, &mut outs);
+                    }
+                }
+            }
+            other => unreachable!("unknown timer {other:?}"),
+        }
+        self.flush(ctx, outs);
+    }
+
+    /// Periodic liveness traffic among the members of the *effective*
+    /// view's quorum (the pending target during a view change): expect a
+    /// heartbeat from every other member, then send our own. This keeps a
+    /// crashed or omitting member continuously suspected even while view
+    /// changes are in flight — without it, a view change targeting a
+    /// quorum with a dead member would erase the very suspicion that
+    /// should steer the selection away from it. Passive replicas stay
+    /// silent.
+    fn heartbeat_tick(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        outs.timers.push((self.rcfg.heartbeat_period, TIMER_HEARTBEAT));
+        let members = *self.views.group(self.effective_view()).members();
+        if !members.contains(self.me) {
+            return;
+        }
+        for k in members.iter() {
+            if k != self.me {
+                self.fd.expect(now, k, "heartbeat", |m| {
+                    matches!(m, XpMsg::Heartbeat(_))
+                });
+            }
+        }
+        self.hb_seq += 1;
+        let hb = XpMsg::Heartbeat(self.signer.sign(HeartbeatPayload { seq: self.hb_seq }));
+        // Send to every replica, not just our effective group: during a
+        // view change different processes briefly disagree on the group,
+        // and a member-set mismatch must not look like an omission fault.
+        for k in self.cfg.processes() {
+            if k != self.me {
+                outs.sends.push((k, hb.clone()));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Normal case
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, now: qsel_simnet::SimTime, req: Request, outs: &mut Outs) {
+        if self.phase != Phase::Normal {
+            // Buffer and replay once the next view is installed, so a
+            // view change does not cost a full client retry period.
+            if !self.pending_requests.iter().any(|r| r.client == req.client && r.op == req.op) {
+                self.pending_requests.push(req);
+            }
+            return;
+        }
+        // Executed before? Re-send the reply (client retransmission).
+        if let Some(slot) = self.log.slot_of(&req) {
+            if self.log.slot(slot).is_some_and(|s| s.decided) && slot < self.log.exec_cursor {
+                outs.sends.push((
+                    req.client,
+                    XpMsg::Reply(Reply {
+                        view: self.view,
+                        op: req.op,
+                        result: slot,
+                    }),
+                ));
+            }
+            return; // already assigned: in flight
+        }
+        let leader = self.leader();
+        let members = *self.active_quorum().members();
+        if self.me == leader {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            let sp = self.signer.sign(PreparePayload {
+                view: self.view,
+                slot,
+                req,
+            });
+            for k in members.iter() {
+                if k != self.me {
+                    outs.sends.push((k, XpMsg::Prepare(sp.clone())));
+                }
+            }
+            self.process_prepare_locally(now, sp, outs);
+        } else if members.contains(self.me) {
+            // Forward to the leader and expect it to prepare this request
+            // (mute-leader detection).
+            self.stats.forwarded += 1;
+            outs.sends.push((leader, XpMsg::Request(req.clone())));
+            let view = self.view;
+            let (client, op) = (req.client, req.op);
+            self.fd.expect(now, leader, "prepare-for-request", move |m| {
+                matches!(
+                    m,
+                    XpMsg::Prepare(sp)
+                        if sp.payload.view == view
+                            && sp.payload.req.client == client
+                            && sp.payload.req.op == op
+                ) || matches!(
+                    m,
+                    XpMsg::Commit(c)
+                        if c.payload.prepare.payload.req.client == client
+                            && c.payload.prepare.payload.req.op == op
+                )
+            });
+        } else {
+            // Passive replica: forward without expectation (it will not
+            // receive the PREPARE — only quorum members do).
+            outs.sends.push((leader, XpMsg::Request(req)));
+        }
+    }
+
+    fn on_prepare(&mut self, now: qsel_simnet::SimTime, sp: SignedPrepare, outs: &mut Outs) {
+        if self.phase != Phase::Normal || sp.payload.view > self.view {
+            self.stash(XpMsg::Prepare(sp));
+            return;
+        }
+        if sp.payload.view != self.view {
+            return; // stale view
+        }
+        if sp.signer != self.leader() || !self.active_quorum().contains(self.me) {
+            return;
+        }
+        self.process_prepare_locally(now, sp, outs);
+    }
+
+    fn on_commit(&mut self, now: qsel_simnet::SimTime, sc: SignedCommit, outs: &mut Outs) {
+        // Malformed COMMIT: authenticated but without a valid embedded
+        // PREPARE → the sender is detected (paper §V-A).
+        let embedded_ok = self.verifier.verify(&sc.payload.prepare).is_ok()
+            && sc.payload.prepare.payload.view == sc.payload.view
+            && sc.payload.prepare.payload.slot == sc.payload.slot
+            && sc.payload.prepare.signer == self.views.leader(sc.payload.view)
+            && sc.payload.digest == sc.payload.prepare.payload.req.digest();
+        if !embedded_ok {
+            self.detect(now, sc.signer, outs);
+            return;
+        }
+        if self.phase != Phase::Normal || sc.payload.view > self.view {
+            self.stash(XpMsg::Commit(sc));
+            return;
+        }
+        if sc.payload.view != self.view || !self.active_quorum().contains(self.me) {
+            return; // stale view, or we are passive
+        }
+        let slot = sc.payload.slot;
+        // Equivocation: a valid PREPARE different from the one we accepted
+        // in the same view (paper §V-A: "it issues a ⟨DETECTED⟩ event for
+        // the leader").
+        if let Some(mine) = self.log.prepare_at(slot) {
+            if mine.payload.view == sc.payload.view && mine.payload != sc.payload.prepare.payload
+            {
+                self.detect(now, self.views.leader(sc.payload.view), outs);
+                return;
+            }
+        }
+        if self.log.slot(slot).is_some_and(|s| s.decided) {
+            // Already decided: record and stop. In particular do NOT
+            // answer a COMMIT with our own COMMIT — decided members would
+            // echo commits at each other indefinitely.
+            self.log.record_commit(slot, sc);
+            return;
+        }
+        let had_prepare = self.log.prepare_at(slot).is_some();
+        if !had_prepare {
+            // Fig. 3: the COMMIT overtook the PREPARE — adopt the embedded
+            // prepare first so this COMMIT is recorded (otherwise we would
+            // issue an expectation for a commit we already consumed).
+            self.log.accept_prepare(sc.payload.prepare.clone());
+        }
+        self.log.record_commit(slot, sc.clone());
+        self.process_prepare_locally(now, sc.payload.prepare.clone(), outs);
+        if !had_prepare {
+            // Fig. 3: COMMIT overtook the PREPARE — expect the PREPARE
+            // from the leader (third subtlety).
+            let view = sc.payload.view;
+            let leader = self.views.leader(view);
+            self.fd.expect(now, leader, "overtaken-prepare", move |m| {
+                matches!(
+                    m,
+                    XpMsg::Prepare(p) if p.payload.view == view && p.payload.slot == slot
+                )
+            });
+        }
+        self.try_decide_and_execute(slot, outs);
+    }
+
+    /// Accepts a PREPARE into the log, sends our COMMIT (followers),
+    /// issues COMMIT expectations for the other members, and tries to
+    /// decide. Shared by the leader's own proposal, a follower receiving
+    /// a PREPARE, a COMMIT-embedded PREPARE, and NEW-VIEW re-proposals.
+    fn process_prepare_locally(
+        &mut self,
+        now: qsel_simnet::SimTime,
+        sp: SignedPrepare,
+        outs: &mut Outs,
+    ) {
+        let slot = sp.payload.slot;
+        let view = sp.payload.view;
+        let leader = self.views.leader(view);
+        let members = *self.views.group(view).members();
+        if let Some(existing) = self.log.slot(slot) {
+            if existing.decided {
+                if existing.prepare.payload.req == sp.payload.req {
+                    // Re-proposal of a decided slot: help the others decide.
+                    if self.me != leader {
+                        let commit = self.signer.sign(CommitPayload {
+                            view,
+                            slot,
+                            digest: sp.payload.req.digest(),
+                            prepare: sp,
+                        });
+                        for k in members.iter() {
+                            if k != self.me {
+                                outs.sends.push((k, XpMsg::Commit(commit.clone())));
+                            }
+                        }
+                    }
+                } else {
+                    // A different request for a decided slot can only come
+                    // from a misbehaving leader.
+                    self.detect(now, leader, outs);
+                }
+                return;
+            }
+            if existing.prepare.payload.view == view && existing.prepare.payload != sp.payload {
+                self.detect(now, leader, outs);
+                return;
+            }
+        }
+        if !self.log.accept_prepare(sp.clone()) {
+            return; // older-view prepare; ignore
+        }
+        if self.me != leader && !self.log.slot(slot).is_some_and(|s| s.committed_by_us) {
+            let commit = self.signer.sign(CommitPayload {
+                view,
+                slot,
+                digest: sp.payload.req.digest(),
+                prepare: sp,
+            });
+            for k in members.iter() {
+                if k != self.me {
+                    outs.sends.push((k, XpMsg::Commit(commit.clone())));
+                }
+            }
+            self.log.mark_committed_by_us(slot);
+            // Keep our own signed commit so decided slots carry a full
+            // transferable certificate.
+            self.log.record_commit(slot, commit);
+        }
+        // Expectations for the other members' COMMITs — skipping members
+        // whose COMMIT already arrived (paper's first subtlety).
+        for k in members.iter() {
+            if k == self.me || k == leader {
+                continue;
+            }
+            let already = self
+                .log
+                .slot(slot)
+                .is_some_and(|s| s.commits.contains_key(&k));
+            if already {
+                continue;
+            }
+            self.fd.expect(now, k, "commit", move |m| {
+                matches!(
+                    m,
+                    XpMsg::Commit(c) if c.payload.view == view && c.payload.slot == slot
+                )
+            });
+        }
+        self.try_decide_and_execute(slot, outs);
+    }
+
+    fn try_decide_and_execute(&mut self, slot: u64, outs: &mut Outs) {
+        let quorum = self.views.group(self.view);
+        let leader = self.views.leader(self.view);
+        if self
+            .log
+            .try_decide(slot, quorum.members(), leader, self.me)
+        {
+            self.stats.decided += 1;
+        }
+        for (s, req) in self.log.execute_ready() {
+            self.stats.executed += 1;
+            outs.sends.push((
+                req.client,
+                XpMsg::Reply(Reply {
+                    view: self.view,
+                    op: req.op,
+                    result: s,
+                }),
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // View change
+    // ------------------------------------------------------------------
+
+    fn effective_view(&self) -> u64 {
+        match self.phase {
+            Phase::Normal => self.view,
+            Phase::ViewChange { target } => target,
+        }
+    }
+
+    fn start_view_change(&mut self, now: qsel_simnet::SimTime, target: u64, outs: &mut Outs) {
+        debug_assert!(target > self.view);
+        self.stats.view_changes += 1;
+        self.phase = Phase::ViewChange { target };
+        self.vc_gen += 1;
+        self.nv_expected = false;
+        // §V-B: cancel expectations — processes may legitimately stop
+        // sending expected PREPARE/COMMIT messages during a view change.
+        let fd_out = self.fd.cancel_all(now);
+        self.pump_fd(now, fd_out, outs);
+        let watermark = self.log.watermark();
+        let vc = self.signer.sign(ViewChangePayload {
+            target_view: target,
+            watermark,
+            prepared: self.log.prepared_entries_from(watermark),
+        });
+        for k in self.cfg.processes() {
+            if k != self.me {
+                outs.sends.push((k, XpMsg::ViewChange(vc.clone())));
+            }
+        }
+        self.collected_vc
+            .entry(target)
+            .or_default()
+            .insert(self.me, vc);
+        // Every replica expects the VIEW-CHANGE of every target-quorum
+        // member it has not yet heard from. This attributes a stalled view
+        // change to the *culprit member* rather than to the (possibly
+        // correct and merely blocked) new leader — keeping the failure
+        // detector accurate (§IV-B accuracy requirements).
+        let members = *self.views.group(target).members();
+        let collected = self.collected_vc.entry(target).or_default();
+        for k in members.iter() {
+            if k == self.me || collected.contains_key(&k) {
+                continue;
+            }
+            // Any VIEW-CHANGE for this or a *later* target proves the
+            // member is alive and participating (it may legitimately have
+            // jumped ahead; we will join it when its message arrives).
+            let min = self.rcfg.view_change_timeout;
+            self.fd.expect_with_min(now, k, min, "view-change", move |m| {
+                matches!(
+                    m,
+                    XpMsg::ViewChange(v) if v.payload.target_view >= target
+                )
+            });
+        }
+        self.progress_view_change(now, target, outs);
+        if self.rcfg.policy == QuorumPolicy::Enumeration {
+            outs.timers.push((
+                self.rcfg.view_change_timeout,
+                TimerId(TIMER_VC_BASE + self.vc_gen),
+            ));
+        }
+    }
+
+    fn on_view_change(&mut self, now: qsel_simnet::SimTime, vc: SignedViewChange, outs: &mut Outs) {
+        let target = vc.payload.target_view;
+        self.collected_vc
+            .entry(target)
+            .or_default()
+            .insert(vc.signer, vc);
+        if target > self.effective_view() {
+            // Join the higher view change.
+            self.start_view_change(now, target, outs);
+        } else if self.effective_view() == target {
+            self.progress_view_change(now, target, outs);
+        }
+    }
+
+    /// Once the VIEW-CHANGE messages of all target-quorum members are in:
+    /// the new leader completes the change; everyone else now — and only
+    /// now — expects the NEW-VIEW (a correct leader is guaranteed to send
+    /// it within a round, so the expectation is accuracy-safe).
+    fn progress_view_change(
+        &mut self,
+        now: qsel_simnet::SimTime,
+        target: u64,
+        outs: &mut Outs,
+    ) {
+        if self.phase != (Phase::ViewChange { target }) {
+            return;
+        }
+        let members = *self.views.group(target).members();
+        let collected = self.collected_vc.entry(target).or_default();
+        if !members.iter().all(|k| collected.contains_key(&k)) {
+            return;
+        }
+        let leader = self.views.leader(target);
+        if leader != self.me {
+            if !self.nv_expected {
+                self.nv_expected = true;
+                let min = self.rcfg.view_change_timeout;
+                self.fd.expect_with_min(now, leader, min, "new-view", move |m| {
+                    matches!(m, XpMsg::NewView(nv) if nv.payload.view >= target)
+                });
+            }
+            return;
+        }
+        // Everything below the highest reported watermark is decided at
+        // the reporter; members behind it catch up via state transfer
+        // instead of re-agreement. Merge only entries at or above it:
+        // per slot, the prepare of the highest view wins.
+        let base = collected
+            .values()
+            .map(|vc| vc.payload.watermark)
+            .max()
+            .unwrap_or(0);
+        let mut merged: BTreeMap<u64, SignedPrepare> = BTreeMap::new();
+        for vc in collected.values() {
+            for sp in &vc.payload.prepared {
+                // Only honor entries actually signed by their view's leader.
+                if sp.payload.slot < base
+                    || self.verifier.verify(sp).is_err()
+                    || sp.signer != self.views.leader(sp.payload.view)
+                {
+                    continue;
+                }
+                merged
+                    .entry(sp.payload.slot)
+                    .and_modify(|cur| {
+                        if sp.payload.view > cur.payload.view {
+                            *cur = sp.clone();
+                        }
+                    })
+                    .or_insert_with(|| sp.clone());
+            }
+        }
+        let reproposals: Vec<SignedPrepare> = merged
+            .values()
+            .map(|sp| {
+                self.signer.sign(PreparePayload {
+                    view: target,
+                    slot: sp.payload.slot,
+                    req: sp.payload.req.clone(),
+                })
+            })
+            .collect();
+        let nv = self.signer.sign(NewViewPayload {
+            view: target,
+            base,
+            reproposals,
+        });
+        for k in self.cfg.processes() {
+            if k != self.me {
+                outs.sends.push((k, XpMsg::NewView(nv.clone())));
+            }
+        }
+        self.install_new_view(now, nv, outs);
+    }
+
+    fn on_new_view(&mut self, now: qsel_simnet::SimTime, nv: SignedNewView, outs: &mut Outs) {
+        let target = nv.payload.view;
+        if nv.signer != self.views.leader(target) {
+            return;
+        }
+        let acceptable = match self.phase {
+            Phase::Normal => target > self.view,
+            Phase::ViewChange { target: t } => target >= t || target > self.view,
+        };
+        if !acceptable {
+            return;
+        }
+        // All re-proposals must be signed by the new leader for the new
+        // view; a NEW-VIEW smuggling anything else is proof of misbehaviour.
+        let all_ok = nv.payload.reproposals.iter().all(|sp| {
+            self.verifier.verify(sp).is_ok()
+                && sp.signer == nv.signer
+                && sp.payload.view == target
+        });
+        if !all_ok {
+            self.detect(now, nv.signer, outs);
+            return;
+        }
+        self.install_new_view(now, nv, outs);
+    }
+
+    fn install_new_view(&mut self, now: qsel_simnet::SimTime, nv: SignedNewView, outs: &mut Outs) {
+        let target = nv.payload.view;
+        self.view = target;
+        self.phase = Phase::Normal;
+        self.vc_gen += 1; // invalidates any pending stall timer
+        self.stats.views_installed += 1;
+        self.view_history.push((now, target));
+        self.collected_vc.remove(&target);
+        let fd_out = self.fd.cancel_all(now);
+        self.pump_fd(now, fd_out, outs);
+        let in_quorum = self.views.group(target).contains(self.me);
+        let base = nv.payload.base;
+        if self.log.watermark() < base {
+            // Slots below `base` are decided elsewhere: fetch their
+            // certificates rather than re-agreeing on them. Every member
+            // answers a StateFetch (possibly with an empty batch), so the
+            // expectation below is accuracy-safe.
+            let from_slot = self.log.watermark();
+            let members = *self.views.group(target).members();
+            let min = self.rcfg.view_change_timeout;
+            for k in members.iter() {
+                if k == self.me {
+                    continue;
+                }
+                outs.sends.push((
+                    k,
+                    XpMsg::StateFetch {
+                        from_slot,
+                        to_slot: base,
+                    },
+                ));
+                self.fd.expect_with_min(now, k, min, "state-batch", |m| {
+                    matches!(m, XpMsg::StateBatch { .. })
+                });
+            }
+        }
+        // Replay protocol traffic that arrived mid view change FIRST, so
+        // the commits it carries are in the log before the re-proposal
+        // loop decides which expectations to arm — an expectation must
+        // never be issued for a message that was already consumed.
+        let protocol = std::mem::take(&mut self.pending_protocol);
+        for msg in protocol {
+            match msg {
+                XpMsg::Prepare(sp) if sp.payload.view >= self.view => {
+                    self.on_prepare(now, sp, outs)
+                }
+                XpMsg::Commit(sc) if sc.payload.view >= self.view => {
+                    self.on_commit(now, sc, outs)
+                }
+                _ => {}
+            }
+        }
+        let mut max_slot = self.next_slot.max(base);
+        for sp in &nv.payload.reproposals {
+            max_slot = max_slot.max(sp.payload.slot + 1);
+            if in_quorum {
+                self.process_prepare_locally(now, sp.clone(), outs);
+            } else {
+                // Passive replicas track the log so their future
+                // VIEW-CHANGE messages carry the entries.
+                self.log.accept_prepare(sp.clone());
+            }
+        }
+        self.next_slot = max_slot;
+        let pending = std::mem::take(&mut self.pending_requests);
+        for req in pending {
+            self.on_request(now, req, outs);
+        }
+    }
+
+    /// Buffers a protocol message for replay after the next view install,
+    /// bounded to keep a Byzantine flood from growing memory.
+    fn stash(&mut self, msg: XpMsg) {
+        const MAX_PENDING: usize = 100_000;
+        if self.pending_protocol.len() >= MAX_PENDING {
+            self.pending_protocol.pop_front();
+        }
+        self.pending_protocol.push_back(msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy replication and state transfer
+    // ------------------------------------------------------------------
+
+    /// Leader-side background replication (XPaxos's lazy replication):
+    /// periodically ship certificates of newly decided slots to the
+    /// replicas outside the active quorum, so their logs track the
+    /// frontier and any future view change involving them stays O(recent).
+    fn lazy_tick(&mut self, outs: &mut Outs) {
+        outs.timers.push((self.rcfg.lazy_period, TIMER_LAZY));
+        if self.phase != Phase::Normal || self.me != self.leader() {
+            return;
+        }
+        const MAX_BATCH: u64 = 2_000;
+        let end = self.log.watermark();
+        let start = self.lazy_sent.min(end);
+        let end = end.min(start + MAX_BATCH);
+        if start >= end {
+            return;
+        }
+        let entries: Vec<DecidedEntry> = (start..end)
+            .filter_map(|slot| self.log.certificate(slot))
+            .map(|(prepare, commits)| DecidedEntry { prepare, commits })
+            .collect();
+        self.lazy_sent = end;
+        if entries.is_empty() {
+            return;
+        }
+        let members = *self.active_quorum().members();
+        for k in self.cfg.processes() {
+            if k != self.me && !members.contains(k) {
+                outs.sends.push((
+                    k,
+                    XpMsg::LazyUpdate {
+                        entries: entries.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Answers a state-transfer request with whatever certified decided
+    /// entries we hold in the range. Always responds (possibly with an
+    /// empty batch) so the requester's expectation stays accuracy-safe.
+    fn on_state_fetch(
+        &mut self,
+        requester: ProcessId,
+        from_slot: u64,
+        to_slot: u64,
+        outs: &mut Outs,
+    ) {
+        if !self.cfg.contains(requester) {
+            return; // only replicas participate in state transfer
+        }
+        const MAX_BATCH: u64 = 5_000;
+        let to_slot = to_slot.min(from_slot.saturating_add(MAX_BATCH));
+        let entries: Vec<DecidedEntry> = (from_slot..to_slot)
+            .filter_map(|slot| self.log.certificate(slot))
+            .map(|(prepare, commits)| DecidedEntry { prepare, commits })
+            .collect();
+        outs.sends.push((requester, XpMsg::StateBatch { entries }));
+    }
+
+    /// Adopts certified decided entries (from lazy replication or a state
+    /// batch) after verifying each certificate, then executes anything
+    /// that became ready.
+    fn adopt_entries(&mut self, entries: Vec<DecidedEntry>, outs: &mut Outs) {
+        for entry in entries {
+            if !self.verify_certificate(&entry) {
+                continue;
+            }
+            self.log.adopt_decided(entry.prepare, entry.commits);
+        }
+        for (s, req) in self.log.execute_ready() {
+            self.stats.executed += 1;
+            outs.sends.push((
+                req.client,
+                XpMsg::Reply(Reply {
+                    view: self.view,
+                    op: req.op,
+                    result: s,
+                }),
+            ));
+        }
+    }
+
+    /// A certificate is valid iff the prepare is signed by its view's
+    /// leader and every non-leader member of that view's quorum
+    /// contributed a matching signed commit — the exact evidence a decided
+    /// slot rests on, so not even a Byzantine sender can forge one.
+    fn verify_certificate(&self, entry: &DecidedEntry) -> bool {
+        let sp = &entry.prepare;
+        if self.verifier.verify(sp).is_err() {
+            return false;
+        }
+        let view = sp.payload.view;
+        let leader = self.views.leader(view);
+        if sp.signer != leader {
+            return false;
+        }
+        let members = *self.views.group(view).members();
+        let digest = sp.payload.req.digest();
+        members.iter().filter(|k| *k != leader).all(|k| {
+            entry.commits.iter().any(|c| {
+                c.signer == k
+                    && c.payload.view == view
+                    && c.payload.slot == sp.payload.slot
+                    && c.payload.digest == digest
+                    && self.verifier.verify(c).is_ok()
+            })
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Failure-detector and quorum-selection plumbing
+    // ------------------------------------------------------------------
+
+    fn detect(&mut self, now: qsel_simnet::SimTime, who: ProcessId, outs: &mut Outs) {
+        self.stats.detections += 1;
+        let fd_out = self.fd.detected(now, who);
+        self.pump_fd(now, fd_out, outs);
+    }
+
+    fn pump_fd(
+        &mut self,
+        now: qsel_simnet::SimTime,
+        initial: Vec<FdOutput<XpMsg>>,
+        outs: &mut Outs,
+    ) {
+        let mut queue: VecDeque<FdOutput<XpMsg>> = initial.into();
+        while let Some(ev) = queue.pop_front() {
+            match ev {
+                FdOutput::Deliver { msg, .. } => match msg {
+                    XpMsg::Prepare(sp) => self.on_prepare(now, sp, outs),
+                    XpMsg::Commit(sc) => self.on_commit(now, sc, outs),
+                    XpMsg::ViewChange(vc) => self.on_view_change(now, vc, outs),
+                    XpMsg::NewView(nv) => self.on_new_view(now, nv, outs),
+                    XpMsg::Update(u) => {
+                        if let Some(qs) = &mut self.qs {
+                            let qs_out = qs.on_update(u);
+                            self.pump_qs(now, qs_out, outs);
+                        }
+                    }
+                    XpMsg::Heartbeat(_) => {} // expectation matching happens in the FD
+                    // State-transfer traffic is adopted before the FD
+                    // (handle_message); only the empty marker used for
+                    // expectation fulfilment reaches this point.
+                    XpMsg::LazyUpdate { .. }
+                    | XpMsg::StateFetch { .. }
+                    | XpMsg::StateBatch { .. } => {}
+                    XpMsg::Request(_) | XpMsg::Reply(_) => {}
+                },
+                FdOutput::Suspected(s) => match self.rcfg.policy {
+                    QuorumPolicy::Selection => {
+                        let qs = self.qs.as_mut().expect("selection policy has a module");
+                        let qs_out = qs.on_suspected(s);
+                        self.pump_qs(now, qs_out, outs);
+                    }
+                    QuorumPolicy::Enumeration => {
+                        // Quorum-granularity detection: any suspicion of an
+                        // active-quorum member abandons the current view.
+                        if self.phase == Phase::Normal
+                            && self
+                                .active_quorum()
+                                .iter()
+                                .any(|m| s.contains(m) && m != self.me)
+                        {
+                            let next = self.view + 1;
+                            self.start_view_change(now, next, outs);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    fn pump_qs(&mut self, now: qsel_simnet::SimTime, qs_out: Vec<QsOutput>, outs: &mut Outs) {
+        for o in qs_out {
+            match o {
+                QsOutput::Broadcast(u) => {
+                    for k in self.cfg.processes() {
+                        if k != self.me {
+                            outs.sends.push((k, XpMsg::Update(u.clone())));
+                        }
+                    }
+                }
+                QsOutput::Quorum(q) => {
+                    // §V-B: jump to the view of the selected quorum,
+                    // suspecting all quorums ordered before it.
+                    let already = match self.phase {
+                        Phase::Normal => self.views.group(self.view) == q,
+                        Phase::ViewChange { target } => self.views.group(target) == q,
+                    };
+                    if !already {
+                        let target = self.views.view_for_quorum(self.effective_view(), &q);
+                        self.start_view_change(now, target, outs);
+                    }
+                }
+            }
+        }
+    }
+
+    fn authenticate(&self, msg: &XpMsg) -> Option<ProcessId> {
+        match msg {
+            XpMsg::Prepare(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::Commit(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::ViewChange(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::NewView(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::Update(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::Heartbeat(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::LazyUpdate { .. } | XpMsg::StateFetch { .. } | XpMsg::StateBatch { .. } => None,
+            XpMsg::Request(_) | XpMsg::Reply(_) => None,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Context<'_, XpMsg>, outs: Outs) {
+        for (to, msg) in outs.sends {
+            ctx.send(to, msg);
+        }
+        for (after, id) in outs.timers {
+            ctx.set_timer(after, id);
+        }
+        if let Some(deadline) = self.fd.next_deadline() {
+            let delay = if deadline > ctx.now() {
+                deadline - ctx.now() + SimDuration::micros(1)
+            } else {
+                SimDuration::micros(1)
+            };
+            ctx.set_timer(delay, TIMER_FD_POLL);
+        }
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("me", &self.me)
+            .field("view", &self.view)
+            .field("phase", &self.phase)
+            .field("decided", &self.log.decided_count())
+            .finish()
+    }
+}

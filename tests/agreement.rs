@@ -1,0 +1,123 @@
+//! Randomized end-to-end agreement tests: under seeded random fault
+//! injection, correct processes must converge to the same quorum with no
+//! suspicion edge inside it (the Termination / No-suspicion / Agreement
+//! triple of §IV-A).
+
+use proptest::prelude::*;
+use qsel::node::{NodeConfig, SelectorNode, ServiceMsg};
+use qsel_simnet::{LinkState, SimConfig, SimDuration, SimTime, Simulation};
+use qsel_types::crypto::Keychain;
+use qsel_types::{ClusterConfig, ProcessId};
+
+fn cluster(n: u32, f: u32, seed: u64, follower: bool) -> Simulation<ServiceMsg, SelectorNode> {
+    let cfg = ClusterConfig::new(n, f).unwrap();
+    let chain = Keychain::new(&cfg, seed);
+    let nodes: Vec<SelectorNode> = cfg
+        .processes()
+        .map(|p| {
+            if follower {
+                SelectorNode::new_follower(cfg, p, &chain, NodeConfig::default())
+            } else {
+                SelectorNode::new_quorum(cfg, p, &chain, NodeConfig::default())
+            }
+        })
+        .collect();
+    Simulation::new(SimConfig::new(n, seed), nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One random crash plus one random dropped link: survivors agree on
+    /// a quorum that excludes the crashed process.
+    #[test]
+    fn quorum_mode_agreement_under_random_faults(
+        seed in 0u64..1_000,
+        crash in 1u32..=5,
+        link_a in 1u32..=5,
+        link_b in 1u32..=5,
+    ) {
+        let n = 5;
+        let f = 2;
+        let mut sim = cluster(n, f, seed, false);
+        sim.start();
+        sim.run_until(SimTime::from_micros(20_000));
+        sim.crash(ProcessId(crash));
+        if link_a != link_b {
+            sim.set_link(
+                ProcessId(link_a),
+                ProcessId(link_b),
+                LinkState { drop_all: true, ..Default::default() },
+            );
+        }
+        sim.run_until(SimTime::from_micros(600_000));
+        let survivors: Vec<ProcessId> = (1..=n)
+            .map(ProcessId)
+            .filter(|p| *p != ProcessId(crash))
+            .collect();
+        let reference = sim.actor(survivors[0]).current_plain_quorum().unwrap();
+        for &p in &survivors {
+            let q = sim.actor(p).current_plain_quorum().unwrap();
+            prop_assert_eq!(q, reference, "disagreement at {}", p);
+            prop_assert!(!q.contains(ProcessId(crash)), "crashed member in quorum");
+        }
+    }
+
+    /// Follower mode: a random crash leads to an agreed leader quorum
+    /// excluding the crashed process.
+    #[test]
+    fn follower_mode_agreement_under_random_crash(
+        seed in 0u64..1_000,
+        crash in 1u32..=4,
+    ) {
+        let mut sim = cluster(4, 1, seed, true);
+        sim.start();
+        sim.run_until(SimTime::from_micros(20_000));
+        sim.crash(ProcessId(crash));
+        sim.run_until(SimTime::from_micros(800_000));
+        let survivors: Vec<ProcessId> = (1..=4u32)
+            .map(ProcessId)
+            .filter(|p| *p != ProcessId(crash))
+            .collect();
+        let reference = sim.actor(survivors[0]).current_leader_quorum().unwrap();
+        for &p in &survivors {
+            let lq = sim.actor(p).current_leader_quorum().unwrap();
+            prop_assert_eq!(lq, reference, "disagreement at {}", p);
+            prop_assert!(!lq.quorum().contains(ProcessId(crash)));
+            prop_assert!(lq.leader() != ProcessId(crash));
+        }
+    }
+}
+
+/// Timing faults only delay (never change) the agreed outcome: with one
+/// slow link the cluster still converges and the final quorums agree.
+#[test]
+fn slow_link_only_delays_agreement() {
+    let mut sim = cluster(5, 2, 77, false);
+    sim.start();
+    sim.set_link(
+        ProcessId(3),
+        ProcessId(4),
+        LinkState {
+            extra_delay: SimDuration::millis(20),
+            ..Default::default()
+        },
+    );
+    sim.run_until(SimTime::from_micros(2_000_000));
+    let reference = sim.actor(ProcessId(1)).current_plain_quorum();
+    for p in (2..=5u32).map(ProcessId) {
+        assert_eq!(sim.actor(p).current_plain_quorum(), reference, "at {p}");
+    }
+    // If the final quorum still pairs p3 and p4, the slow link must have
+    // been absorbed by the adaptive timeouts (no live suspicion remains).
+    let q = reference.unwrap();
+    if q.contains(ProcessId(3)) && q.contains(ProcessId(4)) {
+        for p in (1..=5u32).map(ProcessId) {
+            assert!(
+                !sim.actor(p).suspected().contains(ProcessId(3))
+                    && !sim.actor(p).suspected().contains(ProcessId(4)),
+                "live suspicion against a quorum pair at {p}"
+            );
+        }
+    }
+}
