@@ -310,7 +310,7 @@ impl FollowerSelection {
     fn issue_quorum(&mut self, out: &mut Vec<FsOutput>) {
         let quorum = LeaderQuorum::of(&self.cfg, self.leader, self.q_last.iter())
             .expect("internal quorum invariants violated");
-        self.stats.record_quorum(self.epoch);
+        self.stats.record_quorum(self.epoch, *quorum.quorum().members());
         out.push(FsOutput::Quorum(quorum));
     }
 

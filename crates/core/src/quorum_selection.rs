@@ -167,7 +167,7 @@ impl QuorumSelection {
                     let q = Quorum::from_set_unchecked(set);
                     if q != self.q_last {
                         self.q_last = q;
-                        self.stats.record_quorum(self.epoch);
+                        self.stats.record_quorum(self.epoch, *q.members());
                         out.push(QsOutput::Quorum(q));
                     }
                     return;

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use qsel_types::Epoch;
+use qsel_types::{Epoch, ProcessSet};
 
 /// Counters describing a selection module's behaviour. The per-epoch quorum
 /// counts are the quantity bounded by Theorem 3 (`f(f+1)` for Algorithm 1)
@@ -26,13 +26,25 @@ pub struct SelectionStats {
     pub detections_raised: u64,
     /// Quorums issued per epoch.
     pub quorums_per_epoch: BTreeMap<u64, u64>,
+    /// Distinct quorum member-sets issued, in first-issue order.
+    pub issued_sets: Vec<ProcessSet>,
+    /// Issues of a member-set already used earlier in the run — the
+    /// signature of churn: a member was excluded on suspicion, recovered,
+    /// and selection returned to a previously-used quorum. Stable-fault
+    /// runs keep this at zero; crash-recovery chaos drives it up.
+    pub quorums_revisited: u64,
 }
 
 impl SelectionStats {
-    /// Records a quorum issued while in `epoch`.
-    pub fn record_quorum(&mut self, epoch: Epoch) {
+    /// Records a quorum with member-set `members` issued while in `epoch`.
+    pub fn record_quorum(&mut self, epoch: Epoch, members: ProcessSet) {
         self.quorums_issued += 1;
         *self.quorums_per_epoch.entry(epoch.get()).or_insert(0) += 1;
+        if self.issued_sets.contains(&members) {
+            self.quorums_revisited += 1;
+        } else {
+            self.issued_sets.push(members);
+        }
     }
 
     /// The maximum number of quorums issued within any single epoch — the
@@ -40,22 +52,48 @@ impl SelectionStats {
     pub fn max_quorums_in_one_epoch(&self) -> u64 {
         self.quorums_per_epoch.values().copied().max().unwrap_or(0)
     }
+
+    /// Number of distinct quorum member-sets issued so far.
+    pub fn distinct_quorums(&self) -> usize {
+        self.issued_sets.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use qsel_types::ProcessId;
+
+    fn set(ids: &[u32]) -> ProcessSet {
+        ids.iter().map(|i| ProcessId(*i)).collect()
+    }
+
     #[test]
     fn per_epoch_accounting() {
         let mut s = SelectionStats::default();
-        s.record_quorum(Epoch(1));
-        s.record_quorum(Epoch(1));
-        s.record_quorum(Epoch(2));
+        s.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        s.record_quorum(Epoch(1), set(&[1, 2, 4]));
+        s.record_quorum(Epoch(2), set(&[2, 3, 4]));
         assert_eq!(s.quorums_issued, 3);
         assert_eq!(s.quorums_per_epoch[&1], 2);
         assert_eq!(s.quorums_per_epoch[&2], 1);
         assert_eq!(s.max_quorums_in_one_epoch(), 2);
+        assert_eq!(s.distinct_quorums(), 3);
+        assert_eq!(s.quorums_revisited, 0);
+    }
+
+    #[test]
+    fn churn_revisits_are_counted() {
+        // Crash → quorum change → recovery → selection returns to the
+        // original quorum: the member-set repeats and counts as a revisit.
+        let mut s = SelectionStats::default();
+        s.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        s.record_quorum(Epoch(1), set(&[1, 2, 4]));
+        s.record_quorum(Epoch(2), set(&[1, 2, 3]));
+        assert_eq!(s.quorums_issued, 3);
+        assert_eq!(s.distinct_quorums(), 2);
+        assert_eq!(s.quorums_revisited, 1);
     }
 
     #[test]

@@ -178,7 +178,10 @@ impl<M> FailureDetector<M> {
     /// `from`. Always emits a [`FdOutput::Deliver`]; additionally resolves
     /// matching expectations and retracts suspicions they caused. A match
     /// for an *expired* expectation is a late message: the suspicion was
-    /// false, so the timeout for `from` backs off.
+    /// false, so the timeout for `from` backs off. An on-time match feeds
+    /// [`TimeoutPolicy::record_success`], letting a timeout inflated by
+    /// pre-GST chaos decay back toward its floor once the peer proves
+    /// responsive again.
     pub fn on_receive(&mut self, _now: SimTime, from: ProcessId, msg: M) -> Vec<FdOutput<M>> {
         let mut late_match = false;
         let mut met = 0u64;
@@ -194,8 +197,12 @@ impl<M> FailureDetector<M> {
             }
         });
         self.stats.expectations_met += met;
-        if late_match && self.adaptive {
-            self.timeouts[from.index()].back_off();
+        if self.adaptive {
+            if late_match {
+                self.timeouts[from.index()].back_off();
+            } else if met > 0 {
+                self.timeouts[from.index()].record_success();
+            }
         }
         let mut out = vec![FdOutput::Deliver { from, msg }];
         out.extend(self.publish_if_changed());

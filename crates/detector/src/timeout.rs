@@ -2,7 +2,8 @@
 
 use qsel_simnet::SimDuration;
 
-/// Per-peer adaptive timeout with exponential back-off on false suspicion.
+/// Per-peer adaptive timeout with exponential back-off on false suspicion
+/// and guarded multiplicative decay on sustained responsiveness.
 ///
 /// Timing failures cannot be detected in an asynchronous system (paper
 /// §II); in an eventually-synchronous one, *increasing* timing failures can
@@ -10,6 +11,15 @@ use qsel_simnet::SimDuration;
 /// that argument: every falsely-suspected correct peer doubles its timeout,
 /// so after GST the timeout eventually exceeds the true delay bound and
 /// false suspicions stop — giving eventual strong accuracy.
+///
+/// [`TimeoutPolicy::record_success`] is the counterweight: pre-GST chaos
+/// (or a transient gray failure) can inflate the timeout far beyond what
+/// the stabilized network needs, leaving the detector slow forever. Each
+/// on-time fulfilment contributes to a *decay step* that halves the excess
+/// over `initial`. Decay is guarded so it cannot destroy accuracy: every
+/// back-off doubles the number of consecutive successes required before
+/// the next decay step, so any oscillation around the true delay bound
+/// dies off geometrically and the timeout converges above the bound.
 ///
 /// # Example
 ///
@@ -24,9 +34,12 @@ use qsel_simnet::SimDuration;
 /// ```
 #[derive(Clone, Debug)]
 pub struct TimeoutPolicy {
+    initial: SimDuration,
     current: SimDuration,
     cap: SimDuration,
     back_offs: u32,
+    /// Consecutive on-time fulfilments since the last back-off or decay.
+    streak: u32,
 }
 
 impl TimeoutPolicy {
@@ -39,9 +52,11 @@ impl TimeoutPolicy {
         assert!(initial > SimDuration::ZERO, "timeout must be positive");
         assert!(initial <= cap, "initial timeout exceeds cap");
         TimeoutPolicy {
+            initial,
             current: initial,
             cap,
             back_offs: 0,
+            streak: 0,
         }
     }
 
@@ -50,11 +65,38 @@ impl TimeoutPolicy {
         self.current
     }
 
+    /// The configured floor the timeout can never decay below.
+    pub fn initial(&self) -> SimDuration {
+        self.initial
+    }
+
     /// Doubles the timeout (capped); called when a suspicion against this
-    /// peer turns out false.
+    /// peer turns out false. Resets the success streak — and, by growing
+    /// the streak requirement (see [`TimeoutPolicy::record_success`]),
+    /// makes future decay steps harder to earn.
     pub fn back_off(&mut self) {
         self.back_offs += 1;
+        self.streak = 0;
         self.current = self.current.saturating_mul(2).min(self.cap);
+    }
+
+    /// Records an on-time fulfilment. After `2^back_offs` consecutive
+    /// successes (capped at `2^16`), the excess of the timeout over
+    /// `initial` is halved — multiplicative shrink toward, and never
+    /// below, `initial`.
+    pub fn record_success(&mut self) {
+        if self.current == self.initial {
+            self.streak = 0;
+            return;
+        }
+        self.streak += 1;
+        let needed = 1u32 << self.back_offs.min(16);
+        if self.streak < needed {
+            return;
+        }
+        self.streak = 0;
+        let excess = self.current.as_micros() - self.initial.as_micros();
+        self.current = SimDuration::micros(self.initial.as_micros() + excess / 2);
     }
 
     /// How many times this peer caused a back-off.
@@ -77,6 +119,78 @@ mod tests {
         t.back_off();
         assert_eq!(t.current(), SimDuration::micros(350));
         assert_eq!(t.back_off_count(), 3);
+    }
+
+    #[test]
+    fn success_decay_never_goes_below_initial() {
+        let initial = SimDuration::millis(1);
+        let mut t = TimeoutPolicy::new(initial, SimDuration::secs(60));
+        for _ in 0..3 {
+            t.back_off();
+        }
+        assert_eq!(t.current(), SimDuration::millis(8));
+        for _ in 0..10_000 {
+            t.record_success();
+            assert!(t.current() >= initial, "decayed below the floor");
+        }
+        assert_eq!(t.current(), initial, "sustained successes reach the floor");
+        // At the floor, further successes are no-ops.
+        t.record_success();
+        assert_eq!(t.current(), initial);
+    }
+
+    #[test]
+    fn decay_requires_a_streak_that_doubles_with_back_offs() {
+        let mut t = TimeoutPolicy::new(SimDuration::millis(1), SimDuration::secs(60));
+        t.back_off();
+        t.back_off(); // 4ms; two back-offs → 4 consecutive successes per step
+        assert_eq!(t.current(), SimDuration::millis(4));
+        for _ in 0..3 {
+            t.record_success();
+            assert_eq!(t.current(), SimDuration::millis(4), "streak not yet earned");
+        }
+        t.record_success();
+        // Excess over initial halves: 1ms + 3ms/2 = 2.5ms.
+        assert_eq!(t.current(), SimDuration::micros(2_500));
+        // A back-off resets the streak: three successes after it change nothing
+        // (requirement is now 8).
+        t.back_off();
+        let after = t.current();
+        for _ in 0..7 {
+            t.record_success();
+        }
+        assert_eq!(t.current(), after);
+    }
+
+    #[test]
+    fn converges_above_true_delay_bound_after_gst() {
+        // Closed-loop model of one peer after GST: the network's true delay
+        // bound is D. An expectation armed with `current < D` is fulfilled
+        // late (false suspicion → back_off); one armed with `current >= D`
+        // is fulfilled on time (record_success). The streak guard makes
+        // decay-induced false suspicions geometrically rarer, so the
+        // timeout settles above D instead of oscillating around it.
+        let d = SimDuration::millis(10);
+        let mut t = TimeoutPolicy::new(SimDuration::millis(1), SimDuration::secs(60));
+        const ROUNDS: usize = 50_000;
+        let mut late_in_last_quarter = 0u32;
+        for round in 0..ROUNDS {
+            if t.current() < d {
+                if round >= ROUNDS * 3 / 4 {
+                    late_in_last_quarter += 1;
+                }
+                t.back_off();
+            } else {
+                t.record_success();
+            }
+        }
+        assert_eq!(late_in_last_quarter, 0, "false suspicions persisted");
+        assert!(t.current() >= d, "converged below the delay bound");
+        assert!(
+            t.current() <= d.saturating_mul(4),
+            "converged without tracking the bound: {:?}",
+            t.current()
+        );
     }
 
     #[test]

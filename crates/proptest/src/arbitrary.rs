@@ -1,0 +1,92 @@
+//! The `any::<T>()` entry point for full-domain strategies.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical full-domain strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type.
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+macro_rules! any_impls {
+    ($($t:ty => $draw:expr;)*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let draw: fn(&mut TestRng) -> $t = $draw;
+                draw(rng)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: PhantomData }
+            }
+        }
+    )*};
+}
+
+any_impls! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| (rng.next_u64() >> 56) as u8;
+    u16 => |rng| (rng.next_u64() >> 48) as u16;
+    u32 => |rng| (rng.next_u64() >> 32) as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_domain_corners() {
+        let mut rng = TestRng::from_seed(3);
+        let s = any::<u8>();
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..2_000 {
+            let v = s.generate(&mut rng);
+            seen_high |= v >= 192;
+            seen_low |= v < 64;
+        }
+        assert!(seen_high && seen_low);
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::from_seed(4);
+        let s = any::<bool>();
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..64 {
+            if s.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+}

@@ -26,6 +26,11 @@ pub(crate) struct QueuedEvent<M> {
     pub time: SimTime,
     pub seq: u64,
     pub to: ProcessId,
+    /// Incarnation of `to` when the event was scheduled. Timers whose
+    /// incarnation is stale at delivery are discarded: a restarted process
+    /// must not observe timer callbacks armed by its previous life.
+    /// Messages ignore this field — the network outlives crashes.
+    pub inc: u32,
     pub payload: Payload<M>,
 }
 
@@ -67,6 +72,7 @@ mod tests {
                 time: SimTime::from_micros(time),
                 seq,
                 to: ProcessId(1),
+                inc: 0,
                 payload: Payload::Timer { id: TimerId(seq) },
             });
         }

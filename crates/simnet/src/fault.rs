@@ -1,0 +1,181 @@
+//! Scripted fault injection.
+//!
+//! A [`FaultPlan`] is a time-ordered script of [`FaultEvent`]s that the
+//! [`Simulation`](crate::Simulation) executes at their scheduled
+//! [`SimTime`]s, interleaved deterministically with message and timer
+//! events. Because the simulator derives every random draw from its single
+//! seeded RNG, an entire faulty execution is a pure function of
+//! `(SimConfig::seed, FaultPlan)` — a failing chaos run reproduces exactly
+//! from those two values (both are `Debug`-printable).
+//!
+//! The vocabulary covers the paper's failure classes (Section II) plus the
+//! operational faults any deployed SMR system meets:
+//!
+//! | Event | Models |
+//! |---|---|
+//! | [`FaultEvent::Partition`] | network split (omission on crossing links) |
+//! | [`FaultEvent::HealAll`] | partition heal / GST |
+//! | [`FaultEvent::Crash`] / [`FaultEvent::Restart`] | benign crash + rejoin |
+//! | [`FaultEvent::Pause`] / [`FaultEvent::Resume`] | gray failure: GC stall, VM freeze |
+//! | [`FaultEvent::SetLink`] | arbitrary per-link fault state |
+//! | [`FaultEvent::DegradeLink`] | timing failure: added latency + jitter |
+//! | [`FaultEvent::HealLink`] | single-link repair |
+
+use qsel_types::ProcessId;
+
+use crate::sim::LinkState;
+use crate::time::{SimDuration, SimTime};
+
+/// One scripted fault, applied atomically at its scheduled time.
+#[derive(Clone, Debug)]
+pub enum FaultEvent {
+    /// Symmetrically partition `group` from all other processes, healing
+    /// every non-crossing link (replaces any previous partition).
+    Partition(Vec<ProcessId>),
+    /// Reset every link to the healthy default.
+    HealAll,
+    /// Benign crash: the process stops receiving events and its in-flight
+    /// timers die.
+    Crash(ProcessId),
+    /// Restart a crashed process: it keeps its pre-crash actor state
+    /// (crash-recovery with stable storage) and its
+    /// [`Actor::on_recover`](crate::Actor::on_recover) hook runs so it can
+    /// re-arm timers and re-synchronize with its peers.
+    Restart(ProcessId),
+    /// Gray failure: the process stops executing but is not dead. Events
+    /// addressed to it are buffered and replayed in order on `Resume`.
+    Pause(ProcessId),
+    /// Ends a `Pause`, replaying buffered events at the resume instant.
+    Resume(ProcessId),
+    /// Replace the full fault state of the directed link `from → to`.
+    SetLink {
+        /// Sending side of the directed link.
+        from: ProcessId,
+        /// Receiving side of the directed link.
+        to: ProcessId,
+        /// New link state.
+        state: LinkState,
+    },
+    /// Timing-degrade the directed link `from → to`: every message gets
+    /// `extra_delay` plus a uniform random jitter in `[0, jitter]`.
+    /// Other fault fields on the link are preserved.
+    DegradeLink {
+        /// Sending side of the directed link.
+        from: ProcessId,
+        /// Receiving side of the directed link.
+        to: ProcessId,
+        /// Deterministic added latency.
+        extra_delay: SimDuration,
+        /// Upper bound of the per-message uniform jitter.
+        jitter: SimDuration,
+    },
+    /// Reset the directed link `from → to` to the healthy default.
+    HealLink {
+        /// Sending side of the directed link.
+        from: ProcessId,
+        /// Receiving side of the directed link.
+        to: ProcessId,
+    },
+}
+
+/// A deterministic, time-ordered script of fault events.
+///
+/// Events at equal times apply in insertion order. Build with the chaining
+/// [`FaultPlan::at`] or imperatively with [`FaultPlan::push`]; hand the
+/// finished plan to [`Simulation::schedule_plan`](crate::Simulation::schedule_plan).
+///
+/// # Example
+///
+/// ```
+/// use qsel_simnet::{FaultEvent, FaultPlan, SimTime};
+/// use qsel_types::ProcessId;
+///
+/// let plan = FaultPlan::new()
+///     .at(SimTime::from_micros(10_000), FaultEvent::Crash(ProcessId(2)))
+///     .at(SimTime::from_micros(50_000), FaultEvent::Restart(ProcessId(2)));
+/// assert_eq!(plan.len(), 2);
+/// assert_eq!(plan.last_fault_time(), Some(SimTime::from_micros(50_000)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds `event` at `time` (builder style).
+    #[must_use]
+    pub fn at(mut self, time: SimTime, event: FaultEvent) -> Self {
+        self.push(time, event);
+        self
+    }
+
+    /// Adds `event` at `time`, keeping the script sorted; ties preserve
+    /// insertion order.
+    pub fn push(&mut self, time: SimTime, event: FaultEvent) {
+        let pos = self.events.partition_point(|(t, _)| *t <= time);
+        self.events.insert(pos, (time, event));
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scripted events in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, FaultEvent)> {
+        self.events.iter()
+    }
+
+    /// The time of the last scripted event — after this instant the network
+    /// is only as faulty as the script left it. Chaos suites run well past
+    /// this point (and typically end with [`FaultEvent::HealAll`] plus
+    /// restarts of every crashed process) before asserting liveness.
+    pub fn last_fault_time(&self) -> Option<SimTime> {
+        self.events.last().map(|(t, _)| *t)
+    }
+
+    /// Consumes the plan into its sorted event list.
+    pub(crate) fn into_events(self) -> Vec<(SimTime, FaultEvent)> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order_with_stable_ties() {
+        let mut plan = FaultPlan::new();
+        plan.push(SimTime::from_micros(30), FaultEvent::HealAll);
+        plan.push(SimTime::from_micros(10), FaultEvent::Crash(ProcessId(1)));
+        plan.push(SimTime::from_micros(30), FaultEvent::Restart(ProcessId(1)));
+        plan.push(SimTime::from_micros(20), FaultEvent::Pause(ProcessId(2)));
+        let times: Vec<u64> = plan.iter().map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![10, 20, 30, 30]);
+        // The tie at t=30 preserves insertion order: HealAll then Restart.
+        assert!(matches!(plan.events[2].1, FaultEvent::HealAll));
+        assert!(matches!(plan.events[3].1, FaultEvent::Restart(_)));
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_micros(5), FaultEvent::HealAll)
+            .at(SimTime::from_micros(1), FaultEvent::Crash(ProcessId(3)));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.last_fault_time(), Some(SimTime::from_micros(5)));
+        assert!(FaultPlan::new().last_fault_time().is_none());
+    }
+}

@@ -14,14 +14,23 @@
 //! time-ordered event queue, so every run is exactly reproducible from its
 //! seed, including adversarial schedules.
 //!
-//! Faults are injected at two levels:
+//! Faults are injected at three levels:
 //!
-//! * **Link faults** ([`Simulation::set_link`]) drop or delay messages on
-//!   individual links — the per-link omission and timing failures of the
-//!   paper's failure classification (Section II).
+//! * **Link faults** ([`Simulation::set_link`]) drop, delay, duplicate or
+//!   reorder messages on individual links — the per-link omission and
+//!   timing failures of the paper's failure classification (Section II).
+//! * **Process lifecycle faults**: benign crashes ([`Simulation::crash`])
+//!   with crash-recovery ([`Simulation::restart`] + [`Actor::on_recover`]),
+//!   and gray-failure pauses ([`Simulation::pause`] /
+//!   [`Simulation::resume`]) that freeze a process without killing it.
 //! * **Byzantine actors** are ordinary [`Actor`] implementations that send
 //!   whatever they like; the signature scheme in `qsel-types` keeps them
 //!   from impersonating correct processes.
+//!
+//! All of the above can be scripted ahead of time as a [`FaultPlan`] — a
+//! time-ordered fault schedule executed deterministically by the event
+//! loop, making every chaotic execution reproducible from
+//! `(seed, plan)` alone. See the [`fault`] module docs.
 //!
 //! # Example
 //!
@@ -54,10 +63,12 @@
 
 mod delay;
 mod event;
+pub mod fault;
 mod sim;
 mod time;
 
 pub use delay::DelayModel;
 pub use event::TimerId;
+pub use fault::{FaultEvent, FaultPlan};
 pub use sim::{Actor, Context, LinkState, NetStats, SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,6 @@
 //! The simulation driver.
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -9,6 +9,7 @@ use qsel_types::ProcessId;
 
 use crate::delay::DelayModel;
 use crate::event::{Payload, QueuedEvent, TimerId};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::time::{SimDuration, SimTime};
 
 /// A protocol participant driven by the simulator.
@@ -26,6 +27,15 @@ pub trait Actor<M> {
 
     /// Called when a timer set through [`Context::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId);
+
+    /// Called when the process restarts after a benign crash
+    /// ([`Simulation::restart`]). The actor keeps its pre-crash state
+    /// (crash-recovery with stable storage) but all timers armed before the
+    /// crash are gone — implementations should re-arm periodic timers and
+    /// re-synchronize with peers here. Defaults to doing nothing.
+    fn on_recover(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
 }
 
 /// The interface through which an [`Actor`] interacts with the world.
@@ -127,6 +137,16 @@ pub struct LinkState {
     /// Extra delay added to every message (a timing failure on an
     /// individual link).
     pub extra_delay: SimDuration,
+    /// Additional per-message uniform random delay in `[0, jitter]`
+    /// (a bursty timing failure).
+    pub jitter: SimDuration,
+    /// Deliver each message twice with this probability; the duplicate
+    /// takes an independently sampled delay.
+    pub dup_prob: f64,
+    /// With this probability a message is held back past later traffic on
+    /// the same link (it skips the FIFO floor and takes extra sampled
+    /// delay), modelling out-of-order delivery on an otherwise FIFO link.
+    pub reorder_prob: f64,
     /// Override the default delay model for this link.
     pub delay_override: Option<DelayModel>,
 }
@@ -142,6 +162,21 @@ pub struct NetStats {
     pub messages_dropped: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
+    /// Network-created duplicate deliveries ([`LinkState::dup_prob`]).
+    /// Duplicates are not counted in `messages_sent`, so `delivered` may
+    /// exceed `sent` on duplicating links.
+    pub messages_duplicated: u64,
+    /// Messages held past later traffic ([`LinkState::reorder_prob`]).
+    pub messages_reordered: u64,
+    /// Timer callbacks discarded because their process restarted after
+    /// they were armed.
+    pub stale_timers_dropped: u64,
+    /// Events buffered while their target was paused (gray failure).
+    pub events_buffered_paused: u64,
+    /// Process restarts ([`Simulation::restart`]).
+    pub restarts: u64,
+    /// Scripted fault events applied from a [`FaultPlan`].
+    pub faults_injected: u64,
     /// Per-kind send counts, if a classifier was installed.
     pub by_kind: BTreeMap<&'static str, u64>,
 }
@@ -154,6 +189,15 @@ pub struct Simulation<M, A> {
     cfg: SimConfig,
     actors: Vec<A>,
     crashed: Vec<bool>,
+    paused: Vec<bool>,
+    /// Per-actor restart count; timers carry the incarnation they were
+    /// armed under and die if it is stale at delivery.
+    incarnation: Vec<u32>,
+    /// Events that arrived while their target was paused, replayed in
+    /// arrival order on resume.
+    pause_buf: Vec<VecDeque<QueuedEvent<M>>>,
+    /// Scripted faults not yet applied, sorted by time (stable).
+    pending_faults: VecDeque<(SimTime, FaultEvent)>,
     links: Vec<LinkState>,
     fifo_last: Vec<SimTime>,
     queue: BinaryHeap<QueuedEvent<M>>,
@@ -167,7 +211,7 @@ pub struct Simulation<M, A> {
     scratch_timers: Vec<(SimDuration, TimerId)>,
 }
 
-impl<M, A: Actor<M>> Simulation<M, A> {
+impl<M: Clone, A: Actor<M>> Simulation<M, A> {
     /// Creates a simulation with one actor per id `p_1, …, p_k`.
     ///
     /// # Panics
@@ -184,6 +228,10 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         Simulation {
             actors,
             crashed: vec![false; k],
+            paused: vec![false; k],
+            incarnation: vec![0; k],
+            pause_buf: (0..k).map(|_| VecDeque::new()).collect(),
+            pending_faults: VecDeque::new(),
             links: (0..k * k).map(|_| LinkState::default()).collect(),
             fifo_last: vec![SimTime::ZERO; k * k],
             queue: BinaryHeap::new(),
@@ -238,14 +286,86 @@ impl<M, A: Actor<M>> Simulation<M, A> {
     }
 
     /// Marks `p` as crashed: it receives no further events and its future
-    /// sends are discarded. (A benign crash failure.)
+    /// sends are discarded. (A benign crash failure.) Events buffered
+    /// during a pause die with the crash.
     pub fn crash(&mut self, p: ProcessId) {
         self.crashed[p.index()] = true;
+        self.paused[p.index()] = false;
+        for ev in self.pause_buf[p.index()].drain(..) {
+            if matches!(ev.payload, Payload::Deliver { .. }) {
+                self.stats.messages_dropped += 1;
+            }
+        }
     }
 
     /// Whether `p` has crashed.
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         self.crashed[p.index()]
+    }
+
+    /// Restarts a crashed process (crash-recovery lifecycle).
+    ///
+    /// The actor keeps its pre-crash state — this models a benign crash
+    /// with stable storage, the failure class the paper's detector must
+    /// tolerate without violating safety — but every timer armed before
+    /// the crash is discarded (its incarnation is stale). The actor's
+    /// [`Actor::on_recover`] hook runs immediately so it can re-arm
+    /// periodic timers and re-synchronize with its peers. Messages still
+    /// in flight from before the crash are delivered normally: the network
+    /// does not know the process died.
+    ///
+    /// Restarting a live process is a no-op.
+    pub fn restart(&mut self, p: ProcessId) {
+        if !self.crashed[p.index()] {
+            return;
+        }
+        self.crashed[p.index()] = false;
+        self.incarnation[p.index()] += 1;
+        self.stats.restarts += 1;
+        if self.started {
+            self.dispatch(p, |actor, ctx| actor.on_recover(ctx));
+        }
+    }
+
+    /// Pauses `p` without killing it (gray failure: GC stall, VM freeze,
+    /// overloaded host). Events addressed to it are buffered in arrival
+    /// order and replayed on [`Simulation::resume`] — from the rest of the
+    /// cluster's view the process is silent but not provably dead.
+    pub fn pause(&mut self, p: ProcessId) {
+        if !self.crashed[p.index()] {
+            self.paused[p.index()] = true;
+        }
+    }
+
+    /// Ends a pause, replaying every buffered event at the current instant
+    /// in its original arrival order.
+    pub fn resume(&mut self, p: ProcessId) {
+        if !self.paused[p.index()] {
+            return;
+        }
+        self.paused[p.index()] = false;
+        let buffered: Vec<QueuedEvent<M>> = self.pause_buf[p.index()].drain(..).collect();
+        for mut ev in buffered {
+            ev.time = self.now;
+            ev.seq = self.next_seq();
+            self.queue.push(ev);
+        }
+    }
+
+    /// Whether `p` is paused.
+    pub fn is_paused(&self, p: ProcessId) -> bool {
+        self.paused[p.index()]
+    }
+
+    /// Schedules a [`FaultPlan`] for execution. Scripted events apply at
+    /// their scheduled times, deterministically interleaved with message
+    /// and timer delivery; plans scheduled later merge by time. Events
+    /// scheduled in the past apply before the next delivery.
+    pub fn schedule_plan(&mut self, plan: FaultPlan) {
+        for (t, ev) in plan.into_events() {
+            let pos = self.pending_faults.partition_point(|(pt, _)| *pt <= t);
+            self.pending_faults.insert(pos, (t, ev));
+        }
     }
 
     /// Replaces the fault state of the directed link `from → to`.
@@ -276,23 +396,28 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         self.set_link(from, to, LinkState::default());
     }
 
-    /// Symmetrically partitions `group` from everyone else (drops all
-    /// messages crossing the cut, both directions).
+    /// Symmetrically partitions `group` from everyone else: links crossing
+    /// the cut drop everything, and every non-crossing link is reset to the
+    /// healthy default. Each call therefore *replaces* the previous
+    /// partition instead of accumulating with it, and `partition(&[])`
+    /// heals the whole network.
     pub fn partition(&mut self, group: &[ProcessId]) {
         let in_group = |p: ProcessId| group.contains(&p);
         let all: Vec<ProcessId> = self.ids().collect();
         for &a in &all {
             for &b in &all {
-                if a != b && in_group(a) != in_group(b) {
-                    self.set_link(
-                        a,
-                        b,
-                        LinkState {
-                            drop_all: true,
-                            ..Default::default()
-                        },
-                    );
+                if a == b {
+                    continue;
                 }
+                let state = if in_group(a) != in_group(b) {
+                    LinkState {
+                        drop_all: true,
+                        ..Default::default()
+                    }
+                } else {
+                    LinkState::default()
+                };
+                self.set_link(a, b, state);
             }
         }
     }
@@ -313,6 +438,7 @@ impl<M, A: Actor<M>> Simulation<M, A> {
             time: at.max(self.now),
             seq,
             to,
+            inc: 0,
             payload: Payload::Deliver { from, msg },
         });
     }
@@ -332,9 +458,61 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         }
     }
 
-    /// Processes the next event. Returns `false` when the queue is empty.
+    /// The time of the next pending work item — scripted fault or queued
+    /// event — if any.
+    fn next_work_time(&self) -> Option<SimTime> {
+        let fault = self.pending_faults.front().map(|(t, _)| *t);
+        let event = self.queue.peek().map(|e| e.time);
+        match (fault, event) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Applies the next scripted fault (caller checked it is due).
+    fn apply_next_fault(&mut self) {
+        let (t, fault) = self.pending_faults.pop_front().expect("fault pending");
+        if t > self.now {
+            self.now = t;
+        }
+        self.stats.faults_injected += 1;
+        match fault {
+            FaultEvent::Partition(group) => self.partition(&group),
+            FaultEvent::HealAll => self.heal_all(),
+            FaultEvent::Crash(p) => self.crash(p),
+            FaultEvent::Restart(p) => self.restart(p),
+            FaultEvent::Pause(p) => self.pause(p),
+            FaultEvent::Resume(p) => self.resume(p),
+            FaultEvent::SetLink { from, to, state } => self.set_link(from, to, state),
+            FaultEvent::DegradeLink {
+                from,
+                to,
+                extra_delay,
+                jitter,
+            } => {
+                let idx = self.link_index(from, to);
+                self.links[idx].extra_delay = extra_delay;
+                self.links[idx].jitter = jitter;
+            }
+            FaultEvent::HealLink { from, to } => self.heal_link(from, to),
+        }
+    }
+
+    /// Processes the next event or due scripted fault. Returns `false`
+    /// when neither remains.
     pub fn step(&mut self) -> bool {
         self.start();
+        // Scripted faults scheduled at or before the next queue event apply
+        // first: a fault and a delivery at the same instant resolve in
+        // favour of the fault, so "partition at t" means messages delivered
+        // at t already find the cut in place.
+        let next_event = self.queue.peek().map(|e| e.time);
+        if let Some((tf, _)) = self.pending_faults.front() {
+            if next_event.map_or(true, |te| *tf <= te) {
+                self.apply_next_fault();
+                return true;
+            }
+        }
         let Some(ev) = self.queue.pop() else {
             return false;
         };
@@ -345,6 +523,20 @@ impl<M, A: Actor<M>> Simulation<M, A> {
             if matches!(ev.payload, Payload::Deliver { .. }) {
                 self.stats.messages_dropped += 1;
             }
+            return true;
+        }
+        if let Payload::Timer { .. } = ev.payload {
+            // A restarted process must not see its previous life's timers.
+            if ev.inc != self.incarnation[to.index()] {
+                self.stats.stale_timers_dropped += 1;
+                return true;
+            }
+        }
+        if self.paused[to.index()] {
+            // Gray failure: the process is frozen, not dead. Hold the event
+            // for replay at resume time.
+            self.stats.events_buffered_paused += 1;
+            self.pause_buf[to.index()].push_back(ev);
             return true;
         }
         match ev.payload {
@@ -360,13 +552,13 @@ impl<M, A: Actor<M>> Simulation<M, A> {
         true
     }
 
-    /// Runs until no event at time ≤ `until` remains, then advances the
-    /// clock to `until`.
+    /// Runs until no event or scripted fault at time ≤ `until` remains,
+    /// then advances the clock to `until`.
     pub fn run_until(&mut self, until: SimTime) {
         self.start();
         let mut steps = 0u64;
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > until {
+        while let Some(next) = self.next_work_time() {
+            if next > until {
                 break;
             }
             self.step();
@@ -425,6 +617,7 @@ impl<M, A: Actor<M>> Simulation<M, A> {
                 time: self.now + after,
                 seq,
                 to: id,
+                inc: self.incarnation[id.index()],
                 payload: Payload::Timer { id: tid },
             });
         }
@@ -450,9 +643,43 @@ impl<M, A: Actor<M>> Simulation<M, A> {
             self.stats.messages_dropped += 1;
             return;
         }
+        // Every extra RNG draw below is gated on its fault knob being
+        // non-zero, so executions without these faults consume the exact
+        // same random stream as before the fault layer existed.
+        let duplicate = link.dup_prob > 0.0 && self.rng.random::<f64>() < link.dup_prob;
+        let reorder = link.reorder_prob > 0.0 && self.rng.random::<f64>() < link.reorder_prob;
+        if duplicate {
+            // The duplicate takes an independent delay and respects the
+            // FIFO floor, so it trails the original or later traffic.
+            self.stats.messages_duplicated += 1;
+            self.enqueue_delivery(idx, from, to, false, msg.clone());
+        }
+        self.enqueue_delivery(idx, from, to, reorder, msg);
+    }
+
+    /// Samples a delay for one delivery on link `idx` and enqueues it.
+    fn enqueue_delivery(
+        &mut self,
+        idx: usize,
+        from: ProcessId,
+        to: ProcessId,
+        reorder: bool,
+        msg: M,
+    ) {
+        let link = &self.links[idx];
         let model = link.delay_override.unwrap_or(self.cfg.delay);
         let mut deliver_at = self.now + model.sample(&mut self.rng, self.now) + link.extra_delay;
-        if self.cfg.fifo {
+        if link.jitter > SimDuration::ZERO {
+            deliver_at = deliver_at
+                + SimDuration::micros(self.rng.random_range(0..=link.jitter.as_micros()));
+        }
+        if reorder {
+            // Hold the message back without advancing the FIFO floor:
+            // traffic sent later may overtake it.
+            self.stats.messages_reordered += 1;
+            let hold = model.sample(&mut self.rng, self.now).saturating_mul(3);
+            deliver_at = deliver_at + hold + SimDuration::micros(1);
+        } else if self.cfg.fifo {
             let floor = self.fifo_last[idx] + SimDuration::micros(1);
             if deliver_at < floor {
                 deliver_at = floor;
@@ -464,6 +691,7 @@ impl<M, A: Actor<M>> Simulation<M, A> {
             time: deliver_at,
             seq,
             to,
+            inc: 0,
             payload: Payload::Deliver { from, msg },
         });
     }
@@ -667,6 +895,272 @@ mod tests {
         cfg.max_steps = 100;
         let mut sim = Simulation::new(cfg, vec![Counter::new(u32::MAX)]);
         sim.run_to_quiescence();
+    }
+
+    /// Echoes every ping with a pong and counts recoveries; used by the
+    /// fault-layer tests below.
+    struct Recoverer {
+        pings: u32,
+        recoveries: u32,
+        rearmed: u32,
+    }
+
+    impl Actor<Msg> for Recoverer {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.me() == ProcessId(1) {
+                ctx.set_timer(SimDuration::millis(1), TimerId(7));
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, msg: Msg) {
+            if msg == Msg::Ping {
+                self.pings += 1;
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId) {
+            self.rearmed += 1;
+            ctx.set_timer(SimDuration::millis(1), TimerId(7));
+        }
+        fn on_recover(&mut self, ctx: &mut Context<'_, Msg>) {
+            self.recoveries += 1;
+            ctx.set_timer(SimDuration::millis(1), TimerId(7));
+        }
+    }
+
+    fn recoverers(n: u32, seed: u64) -> Simulation<Msg, Recoverer> {
+        let actors = (0..n)
+            .map(|_| Recoverer {
+                pings: 0,
+                recoveries: 0,
+                rearmed: 0,
+            })
+            .collect();
+        Simulation::new(SimConfig::new(n, seed), actors)
+    }
+
+    #[test]
+    fn restart_runs_on_recover_and_kills_stale_timers() {
+        let mut sim = recoverers(2, 20);
+        sim.run_until(SimTime::from_micros(5_500));
+        let before = sim.actor(ProcessId(1)).rearmed;
+        assert!(before >= 5);
+        // Crash and immediately restart: the pre-crash timer (armed under
+        // the old incarnation) is still queued and must be discarded as
+        // stale instead of firing into the new life.
+        sim.crash(ProcessId(1));
+        sim.restart(ProcessId(1));
+        assert_eq!(sim.actor(ProcessId(1)).recoveries, 1);
+        sim.run_until(SimTime::from_micros(20_000));
+        assert!(sim.stats().stale_timers_dropped >= 1);
+        // The chain re-armed from on_recover keeps firing.
+        assert!(sim.actor(ProcessId(1)).rearmed > before);
+    }
+
+    #[test]
+    fn restart_of_live_process_is_noop() {
+        let mut sim = recoverers(2, 21);
+        sim.run_until(SimTime::from_micros(1_000));
+        sim.restart(ProcessId(2));
+        assert_eq!(sim.actor(ProcessId(2)).recoveries, 0);
+        assert_eq!(sim.stats().restarts, 0);
+    }
+
+    #[test]
+    fn messages_in_flight_survive_a_restart() {
+        let mut sim = recoverers(2, 22);
+        sim.start();
+        // A message injected for delivery while p2 is crashed is dropped;
+        // one delivered after restart arrives (the network outlives the
+        // process).
+        sim.crash(ProcessId(2));
+        sim.inject_at(SimTime::from_micros(100), ProcessId(1), ProcessId(2), Msg::Ping);
+        sim.run_until(SimTime::from_micros(200));
+        sim.restart(ProcessId(2));
+        sim.inject_at(SimTime::from_micros(300), ProcessId(1), ProcessId(2), Msg::Ping);
+        sim.run_until(SimTime::from_micros(1_000));
+        assert_eq!(sim.actor(ProcessId(2)).pings, 1);
+        assert_eq!(sim.stats().messages_dropped, 1);
+    }
+
+    #[test]
+    fn pause_buffers_and_resume_replays_in_order() {
+        let mut sim = two(23);
+        sim.start();
+        sim.pause(ProcessId(2));
+        sim.run_to_quiescence();
+        // Both pings arrived during the pause: buffered, not delivered.
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0);
+        assert_eq!(sim.stats().events_buffered_paused, 2);
+        sim.resume(ProcessId(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 2);
+        // The pong reply (sent on first ping) still flows after resume.
+        assert_eq!(sim.actor(ProcessId(1)).pongs, 1);
+    }
+
+    #[test]
+    fn crash_discards_pause_buffer() {
+        let mut sim = two(24);
+        sim.start();
+        sim.pause(ProcessId(2));
+        sim.run_to_quiescence();
+        sim.crash(ProcessId(2));
+        sim.restart(ProcessId(2));
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0);
+        assert_eq!(sim.stats().messages_dropped, 2);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_is_counted() {
+        let mut sim = two(25);
+        sim.set_link(
+            ProcessId(1),
+            ProcessId(2),
+            LinkState {
+                dup_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 4);
+        assert_eq!(sim.stats().messages_duplicated, 2);
+        assert_eq!(sim.stats().messages_sent, 3, "duplicates are not sends");
+    }
+
+    #[test]
+    fn reordering_lets_later_traffic_overtake() {
+        // With reorder_prob = 1 on a FIFO link, held-back messages take
+        // extra delay and do not advance the FIFO floor; the two pings are
+        // still delivered (reordering never loses messages).
+        let mut sim = two(26);
+        sim.set_link(
+            ProcessId(1),
+            ProcessId(2),
+            LinkState {
+                reorder_prob: 1.0,
+                ..Default::default()
+            },
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 2);
+        assert_eq!(sim.stats().messages_reordered, 2);
+    }
+
+    #[test]
+    fn jitter_spreads_delivery_times() {
+        let base = |seed| {
+            let mut sim = two(seed);
+            sim.run_to_quiescence();
+            sim.now()
+        };
+        let jittered = |seed| {
+            let mut sim = two(seed);
+            sim.set_link(
+                ProcessId(1),
+                ProcessId(2),
+                LinkState {
+                    jitter: SimDuration::millis(50),
+                    ..Default::default()
+                },
+            );
+            sim.run_to_quiescence();
+            sim.now()
+        };
+        // Across seeds, jitter must sometimes stretch the completion time
+        // beyond the no-jitter run.
+        let stretched = (0..10).filter(|&s| jittered(s) > base(s)).count();
+        assert!(stretched >= 5, "jitter had no effect in {stretched}/10 runs");
+    }
+
+    #[test]
+    fn partition_replaces_and_empty_partition_heals() {
+        let mut sim = two(27);
+        sim.partition(&[ProcessId(1)]);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 0);
+        // Healing via an empty partition group restores delivery.
+        sim.partition(&[]);
+        sim.inject_at(sim.now(), ProcessId(1), ProcessId(2), Msg::Ping);
+        sim.run_to_quiescence();
+        assert_eq!(sim.actor(ProcessId(2)).pings, 1);
+    }
+
+    #[test]
+    fn fault_plan_executes_at_scheduled_times() {
+        let mut sim = recoverers(2, 28);
+        sim.schedule_plan(
+            FaultPlan::new()
+                .at(SimTime::from_micros(2_500), FaultEvent::Crash(ProcessId(1)))
+                .at(
+                    SimTime::from_micros(10_000),
+                    FaultEvent::Restart(ProcessId(1)),
+                ),
+        );
+        sim.run_until(SimTime::from_micros(2_400));
+        assert!(!sim.is_crashed(ProcessId(1)));
+        sim.run_until(SimTime::from_micros(3_000));
+        assert!(sim.is_crashed(ProcessId(1)));
+        let rearmed_at_crash = sim.actor(ProcessId(1)).rearmed;
+        sim.run_until(SimTime::from_micros(30_000));
+        assert!(!sim.is_crashed(ProcessId(1)));
+        assert_eq!(sim.actor(ProcessId(1)).recoveries, 1);
+        assert!(sim.actor(ProcessId(1)).rearmed > rearmed_at_crash);
+        assert_eq!(sim.stats().faults_injected, 2);
+    }
+
+    #[test]
+    fn fault_plan_applies_with_empty_event_queue() {
+        // A restart scheduled after the queue drains must still fire: the
+        // step loop merges fault times with event times.
+        let mut sim = two(29);
+        sim.schedule_plan(
+            FaultPlan::new()
+                .at(SimTime::from_micros(1), FaultEvent::Crash(ProcessId(2)))
+                .at(
+                    SimTime::from_micros(500_000),
+                    FaultEvent::Restart(ProcessId(2)),
+                ),
+        );
+        sim.run_until(SimTime::from_micros(1_000_000));
+        assert!(!sim.is_crashed(ProcessId(2)));
+        assert_eq!(sim.stats().faults_injected, 2);
+    }
+
+    #[test]
+    fn faulty_runs_reproduce_from_seed_and_plan() {
+        let run = |seed: u64| {
+            let mut sim = recoverers(3, seed);
+            sim.set_link(
+                ProcessId(1),
+                ProcessId(2),
+                LinkState {
+                    drop_prob: 0.3,
+                    dup_prob: 0.3,
+                    reorder_prob: 0.2,
+                    jitter: SimDuration::millis(2),
+                    ..Default::default()
+                },
+            );
+            sim.schedule_plan(
+                FaultPlan::new()
+                    .at(SimTime::from_micros(3_000), FaultEvent::Pause(ProcessId(2)))
+                    .at(SimTime::from_micros(6_000), FaultEvent::Resume(ProcessId(2)))
+                    .at(SimTime::from_micros(9_000), FaultEvent::Crash(ProcessId(3)))
+                    .at(
+                        SimTime::from_micros(12_000),
+                        FaultEvent::Restart(ProcessId(3)),
+                    ),
+            );
+            sim.run_until(SimTime::from_micros(50_000));
+            (
+                sim.stats().messages_delivered,
+                sim.stats().messages_duplicated,
+                sim.stats().messages_reordered,
+                sim.stats().events_buffered_paused,
+                sim.now(),
+            )
+        };
+        assert_eq!(run(77), run(77));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use qsel_detector::TimeoutPolicy;
 use qsel_simnet::{Context, SimDuration, SimTime, TimerId};
 use qsel_types::{ClusterConfig, ProcessId};
 
@@ -11,14 +12,21 @@ use crate::messages::{Reply, Request, XpMsg};
 /// already-completed op dies silently instead of re-arming forever.
 const TIMER_RETRY_BASE: u64 = 1000;
 
+/// Retransmission back-off is capped at `initial × RETRY_CAP_FACTOR`.
+const RETRY_CAP_FACTOR: u64 = 64;
+
 /// A client that issues one request at a time, accepts a result once
 /// `f + 1` replicas report the same one, then immediately issues the next
-/// (closed loop). Requests are retransmitted to every replica on timeout.
+/// (closed loop). Requests are retransmitted to every replica on timeout,
+/// with capped exponential back-off: every retransmission doubles the
+/// retry interval (so a client facing a partition or a long view change
+/// does not flood the network), and completed operations decay it back
+/// toward the configured base interval.
 #[derive(Debug)]
 pub struct Client {
     me: ProcessId,
     cluster: ClusterConfig,
-    retry: SimDuration,
+    backoff: TimeoutPolicy,
     max_ops: u64,
     next_op: u64,
     sent_at: SimTime,
@@ -33,7 +41,8 @@ pub struct Client {
 
 impl Client {
     /// A client actor with id `me` (outside the replica id range) issuing
-    /// up to `max_ops` operations.
+    /// up to `max_ops` operations. `retry` is the base retransmission
+    /// interval; back-off caps at `retry × 64`.
     pub fn new(me: ProcessId, cluster: ClusterConfig, retry: SimDuration, max_ops: u64) -> Self {
         assert!(
             me.0 > cluster.n(),
@@ -42,7 +51,7 @@ impl Client {
         Client {
             me,
             cluster,
-            retry,
+            backoff: TimeoutPolicy::new(retry, retry.saturating_mul(RETRY_CAP_FACTOR)),
             max_ops,
             next_op: 0,
             sent_at: SimTime::ZERO,
@@ -74,6 +83,11 @@ impl Client {
         }
     }
 
+    /// The retransmission interval currently in force.
+    pub fn current_retry(&self) -> SimDuration {
+        self.backoff.current()
+    }
+
     fn issue(&mut self, ctx: &mut Context<'_, XpMsg>) {
         self.tally.clear();
         self.sent_at = ctx.now();
@@ -83,7 +97,7 @@ impl Client {
         for r in self.cluster.processes() {
             ctx.send(r, XpMsg::Request(req.clone()));
         }
-        ctx.set_timer(self.retry, TimerId(TIMER_RETRY_BASE + self.next_op));
+        ctx.set_timer(self.backoff.current(), TimerId(TIMER_RETRY_BASE + self.next_op));
     }
 
     fn on_reply(&mut self, ctx: &mut Context<'_, XpMsg>, from: ProcessId, reply: Reply) {
@@ -99,6 +113,9 @@ impl Client {
         if entry.len() as u32 >= self.cluster.f() + 1 {
             self.completed
                 .push((reply.op, reply.result, ctx.now() - self.sent_at));
+            // The system answered: let an inflated retry interval decay
+            // back toward the base.
+            self.backoff.record_success();
             self.next_op += 1;
             if self.next_op < self.max_ops {
                 self.issue(ctx);
@@ -127,13 +144,23 @@ impl qsel_simnet::Actor<XpMsg> for Client {
         }
         let op = id - TIMER_RETRY_BASE;
         if op == self.next_op && self.next_op < self.max_ops {
-            // Still waiting on the in-flight op: retransmit.
+            // Still waiting on the in-flight op: retransmit with a doubled
+            // (capped) interval.
             self.retries += 1;
+            self.backoff.back_off();
             let req = self.current_request();
             for r in self.cluster.processes() {
                 ctx.send(r, XpMsg::Request(req.clone()));
             }
-            ctx.set_timer(self.retry, timer);
+            ctx.set_timer(self.backoff.current(), timer);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        // The retry timer died with the process; re-issue the in-flight
+        // operation (replicas that already executed it re-send replies).
+        if self.next_op < self.max_ops {
+            self.issue(ctx);
         }
     }
 }

@@ -68,6 +68,15 @@ impl Actor<XpMsg> for XpActor {
             XpActor::Equivocator(_) => {}
         }
     }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        match self {
+            XpActor::Replica(r) => r.handle_recover(ctx),
+            XpActor::Client(c) => c.on_recover(ctx),
+            XpActor::Mute => {}
+            XpActor::Equivocator(_) => {}
+        }
+    }
 }
 
 /// Byzantine leader: equivocates once (conflicting PREPAREs for slot 0 in

@@ -101,6 +101,8 @@ pub struct ReplicaStats {
     pub detections: u64,
     /// Client requests forwarded to the leader.
     pub forwarded: u64,
+    /// Crash-recoveries performed ([`Replica::handle_recover`]).
+    pub recoveries: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -254,6 +256,56 @@ impl Replica {
         let mut outs = Outs::default();
         self.heartbeat_tick(ctx.now(), &mut outs);
         outs.timers.push((self.rcfg.lazy_period, TIMER_LAZY));
+        self.flush(ctx, outs);
+    }
+
+    /// Recovers after a benign crash (crash-recovery model with stable
+    /// storage): the replica kept its durable protocol state, but its
+    /// timers died with the process and the cluster may have moved on
+    /// while it was down. Pre-crash expectations are cancelled — their
+    /// messages may have been delivered to the void while we were dead, so
+    /// letting them expire would accuse correct peers. The periodic
+    /// machinery is re-armed exactly as in [`Replica::handle_start`], and
+    /// the decided log suffix is re-requested from every peer so the
+    /// replica rejoins at the commit frontier instead of waiting for lazy
+    /// replication to find it.
+    pub fn handle_recover(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        self.stats.recoveries += 1;
+        let now = ctx.now();
+        let mut outs = Outs::default();
+        let fd_out = self.fd.cancel_all(now);
+        self.pump_fd(now, fd_out, &mut outs);
+        self.heartbeat_tick(now, &mut outs);
+        outs.timers.push((self.rcfg.lazy_period, TIMER_LAZY));
+        // Every correct replica answers a StateFetch (possibly with an
+        // empty batch), so the expectation is accuracy-safe — and a peer
+        // that crashed in the meantime is rightly suspected.
+        let from_slot = self.log.watermark();
+        let min = self.rcfg.view_change_timeout;
+        for k in self.cfg.processes() {
+            if k == self.me {
+                continue;
+            }
+            outs.sends.push((
+                k,
+                XpMsg::StateFetch {
+                    from_slot,
+                    to_slot: u64::MAX,
+                },
+            ));
+            self.fd.expect_with_min(now, k, min, "recover-state", |m| {
+                matches!(m, XpMsg::StateBatch { .. })
+            });
+        }
+        // A view change interrupted by the crash is re-entered: the peers
+        // may have completed it (or moved past it) while we were down and
+        // will never re-send its messages. Re-issuing our VIEW-CHANGE and
+        // re-arming its expectations is what pulls us forward — either the
+        // quorum answers, or the resulting suspicions steer us to a view
+        // change the live replicas will join.
+        if let Phase::ViewChange { target } = self.phase {
+            self.start_view_change(now, target, &mut outs);
+        }
         self.flush(ctx, outs);
     }
 

@@ -112,6 +112,67 @@ fn crashed_leader_triggers_quorum_change_and_recovers() {
 }
 
 #[test]
+fn restarted_replica_rejoins_and_catches_up() {
+    // Crash a quorum member mid-run, let the survivors change quorum and
+    // keep committing, then restart it: the recovery hook re-fetches the
+    // decided suffix, so the rejoined replica converges to the frontier
+    // without waiting for lazy replication.
+    let mut sim = ClusterBuilder::new(cfg(4, 1), 211)
+        .replica_config(selection())
+        .clients(1, 16)
+        .build();
+    sim.start();
+    sim.run_until(SimTime::from_micros(50_000));
+    sim.crash(ProcessId(2));
+    sim.run_until(SimTime::from_micros(800_000));
+    let frontier_before = sim.actor(ProcessId(1)).replica().unwrap().log().watermark();
+    assert!(frontier_before > 0, "survivors made progress while p2 was down");
+    sim.restart(ProcessId(2));
+    sim.run_until(SimTime::from_micros(3_000_000));
+    assert_eq!(total_committed(&sim), 16);
+    assert_safety(&sim);
+    let r2 = sim.actor(ProcessId(2)).replica().unwrap();
+    assert_eq!(r2.stats().recoveries, 1);
+    assert!(
+        r2.log().watermark() >= frontier_before,
+        "rejoined replica stuck at watermark {} < {}",
+        r2.log().watermark(),
+        frontier_before
+    );
+    assert_eq!(sim.stats().restarts, 1);
+}
+
+#[test]
+fn partition_blocks_commits_and_heal_restores_liveness() {
+    // Split the cluster {1,2} vs {3,4} mid-epoch: neither side holds a
+    // full quorum (size n−f = 3), so commits must stall — but nothing may
+    // diverge. Healing with an empty partition restores liveness.
+    let mut sim = ClusterBuilder::new(cfg(4, 1), 222)
+        .replica_config(selection())
+        .clients(1, 20)
+        .retry(SimDuration::millis(40))
+        .build();
+    sim.start();
+    sim.run_until(SimTime::from_micros(100_000));
+    let before = total_committed(&sim);
+    assert!(before > 0, "no commits before the partition");
+    sim.partition(&[ProcessId(1), ProcessId(2)]);
+    sim.run_until(SimTime::from_micros(1_100_000));
+    let during = total_committed(&sim);
+    // At most one op already decided by the full quorum may complete from
+    // in-flight replies; nothing new can commit without a full quorum.
+    assert!(
+        during <= before + 1,
+        "a minority partition committed operations: {before} -> {during}"
+    );
+    assert_safety(&sim);
+    sim.partition(&[]); // heal
+    sim.run_until(SimTime::from_micros(6_000_000));
+    assert_eq!(total_committed(&sim), 20, "commits did not resume after heal");
+    assert_safety(&sim);
+}
+
+#[test]
 fn enumeration_policy_also_recovers() {
     let mut sim = ClusterBuilder::new(cfg(4, 1), 44)
         .replica_config(enumeration())

@@ -21,6 +21,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
 pub use qsel;
 pub use qsel_adversary;
 pub use qsel_detector;
