@@ -22,6 +22,7 @@
 //!   (Definition 3) and detect malformed messages or equivocation.
 
 use qsel_graph::{LinearForest, SuspectGraph};
+use qsel_obs::{TraceEvent, TraceSink};
 use qsel_types::crypto::{Signer, Verifier};
 use qsel_types::{ClusterConfig, Epoch, LeaderQuorum, ProcessId, ProcessSet};
 
@@ -99,6 +100,7 @@ pub struct FollowerSelection {
     stable: bool,
     q_last: ProcessSet,
     stats: SelectionStats,
+    trace: TraceSink,
 }
 
 impl FollowerSelection {
@@ -129,8 +131,15 @@ impl FollowerSelection {
             stable: true,
             q_last: cfg.default_quorum_members().into_iter().collect(),
             stats: SelectionStats::default(),
+            trace: TraceSink::disabled(),
             cfg,
         }
+    }
+
+    /// Installs a trace sink (typically a clone of the simulation's, so
+    /// events carry the ambient simulated time).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// `⟨SUSPECTED, S⟩` from the failure detector.
@@ -174,6 +183,10 @@ impl FollowerSelection {
         }
         if !self.is_well_formed(&msg.payload, sender) {
             self.stats.detections_raised += 1;
+            self.trace.emit(|| TraceEvent::DetectionRaised {
+                p: self.me.0,
+                against: sender.0,
+            });
             out.push(FsOutput::Detected(sender));
             return out;
         }
@@ -189,6 +202,10 @@ impl FollowerSelection {
                 // Two different FOLLOWERS for the same leader and epoch:
                 // equivocation (line 32).
                 self.stats.detections_raised += 1;
+                self.trace.emit(|| TraceEvent::DetectionRaised {
+                    p: self.me.0,
+                    against: sender.0,
+                });
                 out.push(FsOutput::Detected(sender));
             }
             return out;
@@ -224,6 +241,11 @@ impl FollowerSelection {
                 // Lines 9–16: next epoch, default leader and quorum.
                 self.epoch = self.epoch.next();
                 self.stats.epochs_entered += 1;
+                self.trace.emit(|| TraceEvent::EpochEntered {
+                    p: self.me.0,
+                    epoch: self.epoch.get(),
+                    algo: "fs".into(),
+                });
                 out.push(FsOutput::Cancel);
                 self.leader = ProcessId(1);
                 self.stable = true;
@@ -240,6 +262,11 @@ impl FollowerSelection {
                 debug_assert!(false, "line subgraph covered all nodes despite IS");
                 self.epoch = self.epoch.next();
                 self.stats.epochs_entered += 1;
+                self.trace.emit(|| TraceEvent::EpochEntered {
+                    p: self.me.0,
+                    epoch: self.epoch.get(),
+                    algo: "fs".into(),
+                });
                 continue;
             };
             if self.leader != new_leader {
@@ -311,6 +338,12 @@ impl FollowerSelection {
         let quorum = LeaderQuorum::of(&self.cfg, self.leader, self.q_last.iter())
             .expect("internal quorum invariants violated");
         self.stats.record_quorum(self.epoch, *quorum.quorum().members());
+        self.trace.emit(|| TraceEvent::QuorumIssued {
+            p: self.me.0,
+            epoch: self.epoch.get(),
+            algo: "fs".into(),
+            members: quorum.quorum().members().iter().map(|p| p.0).collect(),
+        });
         out.push(FsOutput::Quorum(quorum));
     }
 

@@ -19,6 +19,7 @@
 //!   set, so processes with equal matrices output equal quorums.
 
 use qsel_graph::SuspectGraph;
+use qsel_obs::{TraceEvent, TraceSink};
 use qsel_types::crypto::{Signer, Verifier};
 use qsel_types::{ClusterConfig, Epoch, ProcessId, ProcessSet, Quorum};
 
@@ -77,6 +78,7 @@ pub struct QuorumSelection {
     matrix: SuspectMatrix,
     q_last: Quorum,
     stats: SelectionStats,
+    trace: TraceSink,
 }
 
 impl QuorumSelection {
@@ -100,8 +102,15 @@ impl QuorumSelection {
             matrix: SuspectMatrix::new(cfg.n()),
             q_last: Quorum::initial(&cfg),
             stats: SelectionStats::default(),
+            trace: TraceSink::disabled(),
             cfg,
         }
+    }
+
+    /// Installs a trace sink (typically a clone of the simulation's, so
+    /// events carry the ambient simulated time).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// `⟨SUSPECTED, S⟩` from the failure detector (Algorithm 1 line 9).
@@ -160,6 +169,11 @@ impl QuorumSelection {
                     // current suspicions there (lines 28–29).
                     self.epoch = self.epoch.next();
                     self.stats.epochs_entered += 1;
+                    self.trace.emit(|| TraceEvent::EpochEntered {
+                        p: self.me.0,
+                        epoch: self.epoch.get(),
+                        algo: "qs".into(),
+                    });
                     let suspecting = self.suspecting;
                     self.update_suspicions(suspecting, out);
                 }
@@ -168,6 +182,12 @@ impl QuorumSelection {
                     if q != self.q_last {
                         self.q_last = q;
                         self.stats.record_quorum(self.epoch, *q.members());
+                        self.trace.emit(|| TraceEvent::QuorumIssued {
+                            p: self.me.0,
+                            epoch: self.epoch.get(),
+                            algo: "qs".into(),
+                            members: q.members().iter().map(|p| p.0).collect(),
+                        });
                         out.push(QsOutput::Quorum(q));
                     }
                     return;

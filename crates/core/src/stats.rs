@@ -1,6 +1,7 @@
 //! Behaviour counters shared by the two selection algorithms.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use qsel_types::{Epoch, ProcessSet};
 
@@ -28,6 +29,9 @@ pub struct SelectionStats {
     pub quorums_per_epoch: BTreeMap<u64, u64>,
     /// Distinct quorum member-sets issued, in first-issue order.
     pub issued_sets: Vec<ProcessSet>,
+    /// Membership index over `issued_sets`, so `record_quorum` stays
+    /// `O(log n)` over long chaos runs instead of rescanning the vector.
+    issued_index: BTreeSet<ProcessSet>,
     /// Issues of a member-set already used earlier in the run — the
     /// signature of churn: a member was excluded on suspicion, recovered,
     /// and selection returned to a previously-used quorum. Stable-fault
@@ -40,10 +44,10 @@ impl SelectionStats {
     pub fn record_quorum(&mut self, epoch: Epoch, members: ProcessSet) {
         self.quorums_issued += 1;
         *self.quorums_per_epoch.entry(epoch.get()).or_insert(0) += 1;
-        if self.issued_sets.contains(&members) {
-            self.quorums_revisited += 1;
-        } else {
+        if self.issued_index.insert(members) {
             self.issued_sets.push(members);
+        } else {
+            self.quorums_revisited += 1;
         }
     }
 
@@ -56,6 +60,51 @@ impl SelectionStats {
     /// Number of distinct quorum member-sets issued so far.
     pub fn distinct_quorums(&self) -> usize {
         self.issued_sets.len()
+    }
+
+    /// Folds another module's counters into this one — for aggregating a
+    /// whole cluster (or a whole seed sweep) into one report. Counters and
+    /// per-epoch counts add; `other`'s member-sets unseen here are appended
+    /// in their first-issue order. Revisits within each module keep their
+    /// original meaning and simply add; a set known to both modules is not
+    /// counted as an extra revisit by merging.
+    pub fn merge(&mut self, other: &SelectionStats) {
+        self.quorums_issued += other.quorums_issued;
+        self.epochs_entered += other.epochs_entered;
+        self.updates_sent += other.updates_sent;
+        self.updates_forwarded += other.updates_forwarded;
+        self.invalid_updates += other.invalid_updates;
+        self.invalid_followers += other.invalid_followers;
+        self.detections_raised += other.detections_raised;
+        self.quorums_revisited += other.quorums_revisited;
+        for (epoch, n) in &other.quorums_per_epoch {
+            *self.quorums_per_epoch.entry(*epoch).or_insert(0) += n;
+        }
+        for set in &other.issued_sets {
+            if self.issued_index.insert(*set) {
+                self.issued_sets.push(*set);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "selection stats:")?;
+        writeln!(f, "  quorums issued     {:>10}", self.quorums_issued)?;
+        writeln!(f, "  epochs entered     {:>10}", self.epochs_entered)?;
+        writeln!(f, "  updates sent       {:>10}", self.updates_sent)?;
+        writeln!(f, "  updates forwarded  {:>10}", self.updates_forwarded)?;
+        writeln!(f, "  invalid updates    {:>10}", self.invalid_updates)?;
+        writeln!(f, "  invalid followers  {:>10}", self.invalid_followers)?;
+        writeln!(f, "  detections raised  {:>10}", self.detections_raised)?;
+        writeln!(f, "  distinct quorums   {:>10}", self.distinct_quorums())?;
+        writeln!(f, "  quorums revisited  {:>10}", self.quorums_revisited)?;
+        write!(
+            f,
+            "  max quorums/epoch  {:>10}",
+            self.max_quorums_in_one_epoch()
+        )
     }
 }
 
@@ -100,5 +149,51 @@ mod tests {
     fn empty_stats() {
         let s = SelectionStats::default();
         assert_eq!(s.max_quorums_in_one_epoch(), 0);
+    }
+
+    #[test]
+    fn first_issue_order_is_preserved() {
+        let mut s = SelectionStats::default();
+        s.record_quorum(Epoch(1), set(&[2, 3, 4]));
+        s.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        s.record_quorum(Epoch(1), set(&[2, 3, 4]));
+        assert_eq!(s.issued_sets, vec![set(&[2, 3, 4]), set(&[1, 2, 3])]);
+        assert_eq!(s.quorums_revisited, 1);
+    }
+
+    #[test]
+    fn merge_sums_and_dedups() {
+        let mut a = SelectionStats::default();
+        a.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        a.record_quorum(Epoch(2), set(&[1, 2, 4]));
+        let mut b = SelectionStats::default();
+        b.record_quorum(Epoch(2), set(&[1, 2, 3]));
+        b.record_quorum(Epoch(2), set(&[2, 3, 4]));
+        b.record_quorum(Epoch(3), set(&[2, 3, 4]));
+        b.updates_sent = 5;
+
+        a.merge(&b);
+        assert_eq!(a.quorums_issued, 5);
+        assert_eq!(a.updates_sent, 5);
+        assert_eq!(a.quorums_per_epoch[&2], 3);
+        assert_eq!(a.quorums_per_epoch[&3], 1);
+        // [1,2,3] is known to both but merging adds no extra revisit.
+        assert_eq!(a.quorums_revisited, 1);
+        assert_eq!(
+            a.issued_sets,
+            vec![set(&[1, 2, 3]), set(&[1, 2, 4]), set(&[2, 3, 4])]
+        );
+        // Post-merge recording still dedups against the merged index.
+        a.record_quorum(Epoch(4), set(&[2, 3, 4]));
+        assert_eq!(a.quorums_revisited, 2);
+    }
+
+    #[test]
+    fn display_is_a_full_report() {
+        let mut s = SelectionStats::default();
+        s.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        let text = format!("{s}");
+        assert!(text.contains("quorums issued"));
+        assert!(text.contains("max quorums/epoch"));
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{SimDuration, SimTime};
 use qsel_types::{ProcessId, ProcessSet};
 
@@ -103,6 +104,7 @@ pub struct FailureDetector<M> {
     detected: ProcessSet,
     last_published: ProcessSet,
     stats: FdStats,
+    trace: TraceSink,
 }
 
 impl<M> FailureDetector<M> {
@@ -118,7 +120,14 @@ impl<M> FailureDetector<M> {
             detected: ProcessSet::new(),
             last_published: ProcessSet::new(),
             stats: FdStats::default(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs a trace sink (typically a clone of the simulation's, so
+    /// events carry the ambient simulated time).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The owning process.
@@ -294,6 +303,10 @@ impl<M> FailureDetector<M> {
         self.stats.suspicions_raised += raised;
         self.stats.suspicions_cancelled += cancelled;
         self.last_published = now_set;
+        self.trace.emit(|| TraceEvent::SuspicionChanged {
+            p: self.me.0,
+            suspected: now_set.iter().map(|p| p.0).collect(),
+        });
         vec![FdOutput::Suspected(now_set)]
     }
 }

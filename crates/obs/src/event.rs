@@ -1,0 +1,427 @@
+//! Typed trace events and their JSONL encoding.
+//!
+//! The encoding is hand-rolled (the build environment has no serde): each
+//! record is one flat JSON object per line with a **fixed field order** —
+//! `seq`, `t`, `ev`, then the event's own fields in declaration order — so
+//! two identical runs export byte-identical traces. The matching parser in
+//! [`crate::replay::parse_jsonl`] reads exactly this subset of JSON:
+//! unsigned integers, strings, and arrays of unsigned integers.
+
+use std::fmt::Write as _;
+
+/// One structured event, without its timestamp (see [`TraceRecord`]).
+///
+/// Process ids are plain `u32`s (`qsel_types::ProcessId.0`); times and
+/// durations are simulated microseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An actor handed a message to the network.
+    MsgSend {
+        /// Sender id.
+        from: u32,
+        /// Destination id.
+        to: u32,
+        /// Message kind, from the simulation's classifier (empty if none).
+        kind: String,
+    },
+    /// The network delivered a message to a live actor.
+    MsgDeliver {
+        /// Sender id.
+        from: u32,
+        /// Destination id.
+        to: u32,
+        /// Message kind, from the simulation's classifier (empty if none).
+        kind: String,
+    },
+    /// The network dropped a message (link fault or crashed receiver).
+    MsgDrop {
+        /// Sender id.
+        from: u32,
+        /// Destination id.
+        to: u32,
+        /// Why the message died ("link", "crashed", …).
+        reason: String,
+    },
+    /// A link fault duplicated a message.
+    MsgDuplicated {
+        /// Sender id.
+        from: u32,
+        /// Destination id.
+        to: u32,
+    },
+    /// A link fault held a message back past later traffic.
+    MsgReordered {
+        /// Sender id.
+        from: u32,
+        /// Destination id.
+        to: u32,
+    },
+    /// A timer callback fired.
+    TimerFired {
+        /// The process whose timer fired.
+        at: u32,
+    },
+    /// A timer from a previous incarnation was discarded.
+    TimerStale {
+        /// The restarted process.
+        at: u32,
+    },
+    /// An event was buffered because its target is paused (gray failure).
+    BufferedPaused {
+        /// The paused process.
+        at: u32,
+    },
+    /// A process crashed (benign crash failure).
+    Crash {
+        /// The crashed process.
+        p: u32,
+    },
+    /// A crashed process restarted (crash-recovery).
+    Restart {
+        /// The restarted process.
+        p: u32,
+        /// Its new incarnation number.
+        incarnation: u32,
+    },
+    /// A process was paused (gray failure).
+    Pause {
+        /// The paused process.
+        p: u32,
+    },
+    /// A paused process resumed.
+    Resume {
+        /// The resumed process.
+        p: u32,
+    },
+    /// A scripted fault-plan action was applied.
+    FaultApplied {
+        /// Debug rendering of the applied `FaultEvent`.
+        desc: String,
+    },
+    /// A selection module entered a new epoch.
+    EpochEntered {
+        /// The process whose module advanced.
+        p: u32,
+        /// The epoch entered.
+        epoch: u64,
+        /// `"qs"` (Algorithm 1) or `"fs"` (Algorithm 2).
+        algo: String,
+    },
+    /// A selection module issued a `⟨QUORUM⟩` event — the quantity bounded
+    /// per epoch by Theorems 3 (`f(f+1)`) and 9 (`3f+1`).
+    QuorumIssued {
+        /// The issuing process.
+        p: u32,
+        /// The epoch the quorum was computed for.
+        epoch: u64,
+        /// `"qs"` (Algorithm 1) or `"fs"` (Algorithm 2).
+        algo: String,
+        /// The quorum's member ids, ascending.
+        members: Vec<u32>,
+    },
+    /// A failure detector's suspicion set changed.
+    SuspicionChanged {
+        /// The detecting process.
+        p: u32,
+        /// The complete new suspicion set, ascending.
+        suspected: Vec<u32>,
+    },
+    /// A `⟨DETECTED⟩` event — proof of a commission failure.
+    DetectionRaised {
+        /// The detecting process.
+        p: u32,
+        /// The process proven faulty.
+        against: u32,
+    },
+    /// A replica initiated or joined a view change.
+    ViewChangeStart {
+        /// The replica.
+        p: u32,
+        /// The targeted view.
+        target: u64,
+    },
+    /// A replica installed a view (processed its NEW-VIEW).
+    ViewInstalled {
+        /// The replica.
+        p: u32,
+        /// The installed view.
+        view: u64,
+    },
+    /// A replica decided a slot (commit certificate complete).
+    Decided {
+        /// The replica.
+        p: u32,
+        /// The decided slot.
+        slot: u64,
+    },
+    /// A replica executed the request at a slot.
+    Executed {
+        /// The replica.
+        p: u32,
+        /// The executed slot.
+        slot: u64,
+        /// First 8 bytes of the executed request's SHA-256 digest — the
+        /// identity the per-slot agreement check compares across replicas.
+        digest: u64,
+    },
+    /// A client accepted a result (`f+1` matching replies).
+    ClientCommit {
+        /// The client id.
+        client: u32,
+        /// The completed operation number.
+        op: u64,
+        /// Commit latency in simulated microseconds.
+        latency_us: u64,
+    },
+    /// A client retransmitted its in-flight request.
+    ClientRetry {
+        /// The client id.
+        client: u32,
+        /// The retried operation number.
+        op: u64,
+        /// The back-off interval in force, in simulated microseconds.
+        interval_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The stable `ev` name used in the JSONL encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgSend { .. } => "msg_send",
+            TraceEvent::MsgDeliver { .. } => "msg_deliver",
+            TraceEvent::MsgDrop { .. } => "msg_drop",
+            TraceEvent::MsgDuplicated { .. } => "msg_dup",
+            TraceEvent::MsgReordered { .. } => "msg_reorder",
+            TraceEvent::TimerFired { .. } => "timer_fired",
+            TraceEvent::TimerStale { .. } => "timer_stale",
+            TraceEvent::BufferedPaused { .. } => "buffered_paused",
+            TraceEvent::Crash { .. } => "crash",
+            TraceEvent::Restart { .. } => "restart",
+            TraceEvent::Pause { .. } => "pause",
+            TraceEvent::Resume { .. } => "resume",
+            TraceEvent::FaultApplied { .. } => "fault",
+            TraceEvent::EpochEntered { .. } => "epoch_entered",
+            TraceEvent::QuorumIssued { .. } => "quorum_issued",
+            TraceEvent::SuspicionChanged { .. } => "suspicion_changed",
+            TraceEvent::DetectionRaised { .. } => "detection_raised",
+            TraceEvent::ViewChangeStart { .. } => "view_change_start",
+            TraceEvent::ViewInstalled { .. } => "view_installed",
+            TraceEvent::Decided { .. } => "decided",
+            TraceEvent::Executed { .. } => "executed",
+            TraceEvent::ClientCommit { .. } => "client_commit",
+            TraceEvent::ClientRetry { .. } => "client_retry",
+        }
+    }
+}
+
+/// A timestamped, sequenced trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Emission order across the whole run (total order tie-breaker for
+    /// events sharing a timestamp).
+    pub seq: u64,
+    /// Simulated time of emission, in microseconds.
+    pub t: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in val.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_u64_field(out: &mut String, key: &str, val: u64) {
+    let _ = write!(out, ",\"{key}\":{val}");
+}
+
+fn push_arr_field(out: &mut String, key: &str, vals: &[u32]) {
+    let _ = write!(out, ",\"{key}\":[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+impl TraceRecord {
+    /// Appends this record to `out` as one JSONL line (with trailing
+    /// newline). Field order is fixed, making the export deterministic
+    /// byte-for-byte.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let _ = write!(out, "{{\"seq\":{},\"t\":{}", self.seq, self.t);
+        push_str_field(out, "ev", self.event.name());
+        match &self.event {
+            TraceEvent::MsgSend { from, to, kind } | TraceEvent::MsgDeliver { from, to, kind } => {
+                push_u64_field(out, "from", u64::from(*from));
+                push_u64_field(out, "to", u64::from(*to));
+                push_str_field(out, "kind", kind);
+            }
+            TraceEvent::MsgDrop { from, to, reason } => {
+                push_u64_field(out, "from", u64::from(*from));
+                push_u64_field(out, "to", u64::from(*to));
+                push_str_field(out, "reason", reason);
+            }
+            TraceEvent::MsgDuplicated { from, to } | TraceEvent::MsgReordered { from, to } => {
+                push_u64_field(out, "from", u64::from(*from));
+                push_u64_field(out, "to", u64::from(*to));
+            }
+            TraceEvent::TimerFired { at }
+            | TraceEvent::TimerStale { at }
+            | TraceEvent::BufferedPaused { at } => {
+                push_u64_field(out, "at", u64::from(*at));
+            }
+            TraceEvent::Crash { p } | TraceEvent::Pause { p } | TraceEvent::Resume { p } => {
+                push_u64_field(out, "p", u64::from(*p));
+            }
+            TraceEvent::Restart { p, incarnation } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "incarnation", u64::from(*incarnation));
+            }
+            TraceEvent::FaultApplied { desc } => {
+                push_str_field(out, "desc", desc);
+            }
+            TraceEvent::EpochEntered { p, epoch, algo } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "epoch", *epoch);
+                push_str_field(out, "algo", algo);
+            }
+            TraceEvent::QuorumIssued {
+                p,
+                epoch,
+                algo,
+                members,
+            } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "epoch", *epoch);
+                push_str_field(out, "algo", algo);
+                push_arr_field(out, "members", members);
+            }
+            TraceEvent::SuspicionChanged { p, suspected } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_arr_field(out, "suspected", suspected);
+            }
+            TraceEvent::DetectionRaised { p, against } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "against", u64::from(*against));
+            }
+            TraceEvent::ViewChangeStart { p, target } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "target", *target);
+            }
+            TraceEvent::ViewInstalled { p, view } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "view", *view);
+            }
+            TraceEvent::Decided { p, slot } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+            }
+            TraceEvent::Executed { p, slot, digest } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+                push_u64_field(out, "digest", *digest);
+            }
+            TraceEvent::ClientCommit {
+                client,
+                op,
+                latency_us,
+            } => {
+                push_u64_field(out, "client", u64::from(*client));
+                push_u64_field(out, "op", *op);
+                push_u64_field(out, "latency_us", *latency_us);
+            }
+            TraceEvent::ClientRetry {
+                client,
+                op,
+                interval_us,
+            } => {
+                push_u64_field(out, "client", u64::from(*client));
+                push_u64_field(out, "op", *op);
+                push_u64_field(out, "interval_us", *interval_us);
+            }
+        }
+        out.push_str("}\n");
+    }
+
+    /// Renders this record as one JSONL line (without trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        self.write_jsonl(&mut s);
+        s.pop(); // trailing newline
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_field_order() {
+        let r = TraceRecord {
+            seq: 3,
+            t: 1500,
+            event: TraceEvent::MsgSend {
+                from: 1,
+                to: 2,
+                kind: "prepare".into(),
+            },
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"seq":3,"t":1500,"ev":"msg_send","from":1,"to":2,"kind":"prepare"}"#
+        );
+    }
+
+    #[test]
+    fn arrays_render_compactly() {
+        let r = TraceRecord {
+            seq: 0,
+            t: 7,
+            event: TraceEvent::QuorumIssued {
+                p: 4,
+                epoch: 2,
+                algo: "qs".into(),
+                members: vec![1, 3, 4],
+            },
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"seq":0,"t":7,"ev":"quorum_issued","p":4,"epoch":2,"algo":"qs","members":[1,3,4]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let r = TraceRecord {
+            seq: 0,
+            t: 0,
+            event: TraceEvent::FaultApplied {
+                desc: "say \"hi\"\\\n".into(),
+            },
+        };
+        assert_eq!(
+            r.to_jsonl(),
+            r#"{"seq":0,"t":0,"ev":"fault","desc":"say \"hi\"\\\n"}"#
+        );
+    }
+}

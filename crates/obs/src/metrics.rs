@@ -1,0 +1,387 @@
+//! A small metrics registry: counters, gauges and fixed-bucket histograms
+//! with plain-text and JSON report renderers.
+//!
+//! All values are integers in simulated units (microseconds, counts), so
+//! reports are deterministic: the same run renders the same bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, TraceRecord};
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// `bounds` are inclusive upper edges; a final implicit overflow bucket
+/// catches everything above the last bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen, or 0 with no samples.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample seen, or 0 with no samples.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// `(upper_edge, count)` pairs; the final pair has edge `u64::MAX`
+    /// (the overflow bucket).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Reads counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Reads gauge `name` (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `v` into histogram `name`, creating it with `bounds` on
+    /// first use.
+    pub fn histogram_record(&mut self, name: &str, bounds: &[u64], v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(v);
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Renders a plain-text report (deterministic: names sorted).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<42} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<42} {v:>12}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name}: count={} min={} mean={:.1} max={}",
+                h.count(),
+                h.min(),
+                h.mean(),
+                h.max()
+            );
+            for (edge, c) in h.buckets() {
+                if c == 0 {
+                    continue;
+                }
+                if edge == u64::MAX {
+                    let _ = writeln!(out, "  le=+inf{:>21}", c);
+                } else {
+                    let _ = writeln!(out, "  le={edge:<24} {c:>12}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a single JSON object (deterministic field
+    /// order: names sorted, fixed key order inside each histogram).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"min\":{},\"mean\":{:.1},\"max\":{},\"buckets\":[",
+                h.count(),
+                h.min(),
+                h.mean(),
+                h.max()
+            );
+            for (j, (edge, c)) in h.buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                if edge == u64::MAX {
+                    let _ = write!(out, "[\"+inf\",{c}]");
+                } else {
+                    let _ = write!(out, "[{edge},{c}]");
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Bucket edges (µs) for commit-latency and view-change-duration
+/// histograms: decade-ish steps from 100µs to 10s.
+pub const LATENCY_BOUNDS_US: [u64; 10] = [
+    100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000, 10_000_000,
+];
+
+/// Bucket edges for small counts (quorums per epoch).
+pub const COUNT_BOUNDS: [u64; 8] = [0, 1, 2, 3, 4, 6, 8, 16];
+
+/// Derives the standard metric set from a trace:
+///
+/// * `events.*` counters — one per event kind;
+/// * `commit_latency_us` — client-observed commit latency;
+/// * `view_change_duration_us` — per replica, `ViewChangeStart` to the
+///   next `ViewInstalled` at a view ≥ the target;
+/// * `quorums_per_epoch` — quorums issued per `(process, epoch, algo)`,
+///   the Theorem 3 / Theorem 9 quantity;
+/// * `retry_backoff_us` — client retransmission intervals.
+pub fn standard_metrics(records: &[TraceRecord]) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    // Pending view-change start time per replica.
+    let mut vc_start: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    // Quorum issues per (process, epoch, algo).
+    let mut per_epoch: BTreeMap<(u32, u64, String), u64> = BTreeMap::new();
+    for r in records {
+        m.counter_add(&format!("events.{}", r.event.name()), 1);
+        match &r.event {
+            TraceEvent::ClientCommit { latency_us, .. } => {
+                m.histogram_record("commit_latency_us", &LATENCY_BOUNDS_US, *latency_us);
+            }
+            TraceEvent::ClientRetry { interval_us, .. } => {
+                m.histogram_record("retry_backoff_us", &LATENCY_BOUNDS_US, *interval_us);
+            }
+            TraceEvent::ViewChangeStart { p, target } => {
+                // Keep the earliest start of the ongoing change: a replica
+                // joining ever-higher targets is still in one outage.
+                vc_start.entry(*p).or_insert((r.t, *target));
+            }
+            TraceEvent::ViewInstalled { p, view } => {
+                if let Some((started, target)) = vc_start.get(p).copied() {
+                    if *view >= target {
+                        vc_start.remove(p);
+                        m.histogram_record(
+                            "view_change_duration_us",
+                            &LATENCY_BOUNDS_US,
+                            r.t.saturating_sub(started),
+                        );
+                    }
+                }
+            }
+            TraceEvent::QuorumIssued { p, epoch, algo, .. } => {
+                *per_epoch.entry((*p, *epoch, algo.clone())).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for count in per_epoch.values() {
+        m.histogram_record("quorums_per_epoch", &COUNT_BOUNDS, *count);
+    }
+    m.gauge_set("trace.records", records.len() as i64);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [5, 10, 11, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (10, 2)); // 5 and 10 (inclusive edge)
+        assert_eq!(buckets[1], (100, 1)); // 11
+        assert_eq!(buckets[2], (u64::MAX, 1)); // 1000 overflows
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn registry_renders_deterministically() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b", 2);
+        m.counter_add("a", 1);
+        m.gauge_set("g", -3);
+        m.histogram_record("h", &[10], 4);
+        let text1 = m.render_text();
+        let json1 = m.render_json();
+        assert_eq!(text1, m.render_text());
+        assert_eq!(json1, m.render_json());
+        assert!(text1.find("  a").unwrap() < text1.find("  b").unwrap());
+        assert!(json1.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
+    }
+
+    #[test]
+    fn standard_metrics_pairs_view_changes() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                t: 100,
+                event: TraceEvent::ViewChangeStart { p: 1, target: 3 },
+            },
+            TraceRecord {
+                seq: 1,
+                t: 150,
+                event: TraceEvent::ViewChangeStart { p: 1, target: 4 },
+            },
+            TraceRecord {
+                seq: 2,
+                t: 600,
+                event: TraceEvent::ViewInstalled { p: 1, view: 4 },
+            },
+            TraceRecord {
+                seq: 3,
+                t: 700,
+                event: TraceEvent::ClientCommit {
+                    client: 5,
+                    op: 0,
+                    latency_us: 250,
+                },
+            },
+        ];
+        let m = standard_metrics(&records);
+        let h = m.histogram("view_change_duration_us").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 500, "duration from the first start of the outage");
+        assert_eq!(m.counter("events.client_commit"), 1);
+        assert_eq!(m.histogram("commit_latency_us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn standard_metrics_counts_quorums_per_epoch() {
+        let q = |seq, epoch| TraceRecord {
+            seq,
+            t: seq,
+            event: TraceEvent::QuorumIssued {
+                p: 1,
+                epoch,
+                algo: "qs".into(),
+                members: vec![1, 2, 3],
+            },
+        };
+        let m = standard_metrics(&[q(0, 1), q(1, 1), q(2, 2)]);
+        let h = m.histogram("quorums_per_epoch").unwrap();
+        assert_eq!(h.count(), 2, "two (process, epoch) groups");
+        assert_eq!(h.max(), 2);
+    }
+}

@@ -1,0 +1,855 @@
+//! Offline trace replay: re-reads an exported JSONL trace and checks the
+//! paper's invariants without re-running the simulation.
+//!
+//! Checks performed by [`analyze`]:
+//!
+//! 1. **Per-epoch quorum bounds** — for every `(process, epoch)` group of
+//!    `quorum_issued` events at `t ≥ stable_from_micros`, the count must
+//!    not exceed `f(f+1)` for Algorithm 1 (`"qs"`, Theorem 3) or `3f+1`
+//!    for Algorithm 2 (`"fs"`, Theorem 9). The `stable_from_micros` gate
+//!    mirrors the theorems' premise that the failure detector has become
+//!    accurate: during active fault injection the suspect matrix is not
+//!    monotone and the bounds do not apply. Pass `0` to check the whole
+//!    trace.
+//! 2. **Per-slot agreement** — all `executed` events for one slot must
+//!    carry the same request digest across replicas (safety of the
+//!    replicated log).
+//! 3. **No delivery to a crashed incarnation** — between a `crash` of
+//!    process *p* and its next `restart`, no `msg_deliver` (or
+//!    `timer_fired`) may target *p*.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::event::{TraceEvent, TraceRecord};
+
+// ---------------------------------------------------------------------------
+// JSONL parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed flat JSON value — exactly the subset the writer emits.
+enum Val {
+    U64(u64),
+    Str(String),
+    Arr(Vec<u32>),
+}
+
+impl Val {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Val::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+    fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|v| u32::try_from(v).ok())
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[u32]> {
+        match self {
+            Val::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| format!("number overflow at byte {start}"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digit at byte {start}"));
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                        }
+                        s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => {
+                        return Err(format!("bad escape {:?}", other.map(|b| b as char)));
+                    }
+                },
+                Some(b) => {
+                    // The writer only emits ASCII unescaped below 0x80;
+                    // pass multi-byte UTF-8 through byte-wise.
+                    if b < 0x80 {
+                        s.push(b as char);
+                    } else {
+                        let rest = &self.bytes[self.pos - 1..];
+                        let ch = std::str::from_utf8(rest)
+                            .ok()
+                            .and_then(|t| t.chars().next())
+                            .ok_or("invalid UTF-8 in string")?;
+                        s.push(ch);
+                        self.pos += ch.len_utf8() - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Val, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut arr = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Val::Arr(arr));
+                }
+                loop {
+                    let v = self.parse_u64()?;
+                    arr.push(
+                        u32::try_from(v).map_err(|_| "array element exceeds u32".to_string())?,
+                    );
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Val::Arr(arr)),
+                        other => {
+                            return Err(format!(
+                                "expected ',' or ']' in array, got {:?}",
+                                other.map(|b| b as char)
+                            ));
+                        }
+                    }
+                }
+            }
+            Some(b'0'..=b'9') => Ok(Val::U64(self.parse_u64()?)),
+            other => Err(format!(
+                "unexpected value start {:?}",
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Vec<(String, Val)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(fields),
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' in object, got {:?}",
+                        other.map(|b| b as char)
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn field<'a>(fields: &'a [(String, Val)], key: &str, line: usize) -> Result<&'a Val, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("line {line}: missing field \"{key}\""))
+}
+
+fn u64_field(fields: &[(String, Val)], key: &str, line: usize) -> Result<u64, String> {
+    field(fields, key, line)?
+        .as_u64()
+        .ok_or_else(|| format!("line {line}: field \"{key}\" is not a number"))
+}
+
+fn u32_field(fields: &[(String, Val)], key: &str, line: usize) -> Result<u32, String> {
+    field(fields, key, line)?
+        .as_u32()
+        .ok_or_else(|| format!("line {line}: field \"{key}\" is not a u32"))
+}
+
+fn str_field(fields: &[(String, Val)], key: &str, line: usize) -> Result<String, String> {
+    Ok(field(fields, key, line)?
+        .as_str()
+        .ok_or_else(|| format!("line {line}: field \"{key}\" is not a string"))?
+        .to_string())
+}
+
+fn arr_field(fields: &[(String, Val)], key: &str, line: usize) -> Result<Vec<u32>, String> {
+    Ok(field(fields, key, line)?
+        .as_arr()
+        .ok_or_else(|| format!("line {line}: field \"{key}\" is not an array"))?
+        .to_vec())
+}
+
+/// Parses a JSONL trace export back into records.
+///
+/// Accepts exactly the subset of JSON the writer emits: one flat object
+/// per line; unsigned-integer, string and array-of-unsigned values. Blank
+/// lines are skipped. Unknown `ev` names are an error (the trace format is
+/// versioned by this crate, not forward-compatible).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut cur = Cursor {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        let fields = cur
+            .parse_object()
+            .map_err(|e| format!("line {line_no}: {e}"))?;
+        if cur.pos != cur.bytes.len() {
+            return Err(format!("line {line_no}: trailing garbage after object"));
+        }
+        let seq = u64_field(&fields, "seq", line_no)?;
+        let t = u64_field(&fields, "t", line_no)?;
+        let ev = str_field(&fields, "ev", line_no)?;
+        let event = match ev.as_str() {
+            "msg_send" => TraceEvent::MsgSend {
+                from: u32_field(&fields, "from", line_no)?,
+                to: u32_field(&fields, "to", line_no)?,
+                kind: str_field(&fields, "kind", line_no)?,
+            },
+            "msg_deliver" => TraceEvent::MsgDeliver {
+                from: u32_field(&fields, "from", line_no)?,
+                to: u32_field(&fields, "to", line_no)?,
+                kind: str_field(&fields, "kind", line_no)?,
+            },
+            "msg_drop" => TraceEvent::MsgDrop {
+                from: u32_field(&fields, "from", line_no)?,
+                to: u32_field(&fields, "to", line_no)?,
+                reason: str_field(&fields, "reason", line_no)?,
+            },
+            "msg_dup" => TraceEvent::MsgDuplicated {
+                from: u32_field(&fields, "from", line_no)?,
+                to: u32_field(&fields, "to", line_no)?,
+            },
+            "msg_reorder" => TraceEvent::MsgReordered {
+                from: u32_field(&fields, "from", line_no)?,
+                to: u32_field(&fields, "to", line_no)?,
+            },
+            "timer_fired" => TraceEvent::TimerFired {
+                at: u32_field(&fields, "at", line_no)?,
+            },
+            "timer_stale" => TraceEvent::TimerStale {
+                at: u32_field(&fields, "at", line_no)?,
+            },
+            "buffered_paused" => TraceEvent::BufferedPaused {
+                at: u32_field(&fields, "at", line_no)?,
+            },
+            "crash" => TraceEvent::Crash {
+                p: u32_field(&fields, "p", line_no)?,
+            },
+            "restart" => TraceEvent::Restart {
+                p: u32_field(&fields, "p", line_no)?,
+                incarnation: u32_field(&fields, "incarnation", line_no)?,
+            },
+            "pause" => TraceEvent::Pause {
+                p: u32_field(&fields, "p", line_no)?,
+            },
+            "resume" => TraceEvent::Resume {
+                p: u32_field(&fields, "p", line_no)?,
+            },
+            "fault" => TraceEvent::FaultApplied {
+                desc: str_field(&fields, "desc", line_no)?,
+            },
+            "epoch_entered" => TraceEvent::EpochEntered {
+                p: u32_field(&fields, "p", line_no)?,
+                epoch: u64_field(&fields, "epoch", line_no)?,
+                algo: str_field(&fields, "algo", line_no)?,
+            },
+            "quorum_issued" => TraceEvent::QuorumIssued {
+                p: u32_field(&fields, "p", line_no)?,
+                epoch: u64_field(&fields, "epoch", line_no)?,
+                algo: str_field(&fields, "algo", line_no)?,
+                members: arr_field(&fields, "members", line_no)?,
+            },
+            "suspicion_changed" => TraceEvent::SuspicionChanged {
+                p: u32_field(&fields, "p", line_no)?,
+                suspected: arr_field(&fields, "suspected", line_no)?,
+            },
+            "detection_raised" => TraceEvent::DetectionRaised {
+                p: u32_field(&fields, "p", line_no)?,
+                against: u32_field(&fields, "against", line_no)?,
+            },
+            "view_change_start" => TraceEvent::ViewChangeStart {
+                p: u32_field(&fields, "p", line_no)?,
+                target: u64_field(&fields, "target", line_no)?,
+            },
+            "view_installed" => TraceEvent::ViewInstalled {
+                p: u32_field(&fields, "p", line_no)?,
+                view: u64_field(&fields, "view", line_no)?,
+            },
+            "decided" => TraceEvent::Decided {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+            },
+            "executed" => TraceEvent::Executed {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                digest: u64_field(&fields, "digest", line_no)?,
+            },
+            "client_commit" => TraceEvent::ClientCommit {
+                client: u32_field(&fields, "client", line_no)?,
+                op: u64_field(&fields, "op", line_no)?,
+                latency_us: u64_field(&fields, "latency_us", line_no)?,
+            },
+            "client_retry" => TraceEvent::ClientRetry {
+                client: u32_field(&fields, "client", line_no)?,
+                op: u64_field(&fields, "op", line_no)?,
+                interval_us: u64_field(&fields, "interval_us", line_no)?,
+            },
+            other => return Err(format!("line {line_no}: unknown event \"{other}\"")),
+        };
+        records.push(TraceRecord { seq, t, event });
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`analyze`].
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// The fault threshold the run was configured with (`n = 3f + 1`).
+    pub f: u32,
+    /// Quorum-bound checks only count `quorum_issued` events at
+    /// `t ≥ stable_from_micros` — the theorems assume an accurate failure
+    /// detector, which only holds once fault injection has ceased. Use `0`
+    /// to check the entire trace.
+    pub stable_from_micros: u64,
+}
+
+impl ReplayConfig {
+    /// Theorem 3 bound for Algorithm 1: `f(f+1)` quorums per epoch.
+    pub fn qs_bound(&self) -> u64 {
+        u64::from(self.f) * (u64::from(self.f) + 1)
+    }
+
+    /// Theorem 9 bound for Algorithm 2: `3f+1` quorums per epoch.
+    pub fn fs_bound(&self) -> u64 {
+        3 * u64::from(self.f) + 1
+    }
+}
+
+/// One invariant violation found in a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Sequence number of the record that completed the violation.
+    pub seq: u64,
+    /// Its simulated timestamp (microseconds).
+    pub t: u64,
+    /// Human-readable description.
+    pub desc: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq={} t={}us: {}", self.seq, self.t, self.desc)
+    }
+}
+
+/// The result of replaying a trace through the invariant checks.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Total records inspected.
+    pub records_checked: u64,
+    /// All violations found, in trace order.
+    pub violations: Vec<Violation>,
+    /// Largest per-`(process, epoch)` quorum count observed for
+    /// Algorithm 1 in the stable window (compare against `f(f+1)`).
+    pub max_qs_quorums_per_epoch: u64,
+    /// Largest per-`(process, epoch)` quorum count observed for
+    /// Algorithm 2 in the stable window (compare against `3f+1`).
+    pub max_fs_quorums_per_epoch: u64,
+    /// Largest per-`(process, epoch)` quorum count anywhere in the trace,
+    /// including the unstable (fault-injection) window. Informational.
+    pub max_quorums_per_epoch_unstable: u64,
+    /// Distinct slots whose executions were cross-checked.
+    pub slots_checked: u64,
+}
+
+impl ReplayReport {
+    /// Whether the trace passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "replay: {} records, {} slots cross-checked",
+            self.records_checked, self.slots_checked
+        )?;
+        writeln!(
+            f,
+            "  max quorums/epoch (stable window): qs={} fs={}",
+            self.max_qs_quorums_per_epoch, self.max_fs_quorums_per_epoch
+        )?;
+        writeln!(
+            f,
+            "  max quorums/epoch (whole trace):   {}",
+            self.max_quorums_per_epoch_unstable
+        )?;
+        if self.violations.is_empty() {
+            writeln!(f, "  verdict: OK — no invariant violations")?;
+        } else {
+            writeln!(f, "  verdict: {} VIOLATION(S)", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "    {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replays `records` through the invariant checks described in the
+/// [module docs](self).
+pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
+    let mut report = ReplayReport {
+        records_checked: records.len() as u64,
+        ..ReplayReport::default()
+    };
+
+    // Check 1 state: quorum counts per (process, epoch, algo).
+    let mut stable_counts: HashMap<(u32, u64, bool), u64> = HashMap::new();
+    let mut all_counts: HashMap<(u32, u64, bool), u64> = HashMap::new();
+    // Check 2 state: slot -> (digest, first writer, first seq).
+    let mut slot_digest: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new();
+    // Check 3 state: processes currently down (crashed, not yet restarted).
+    let mut down: HashMap<u32, u64> = HashMap::new();
+
+    for r in records {
+        match &r.event {
+            TraceEvent::QuorumIssued { p, epoch, algo, .. } => {
+                let is_fs = algo == "fs";
+                let c = all_counts.entry((*p, *epoch, is_fs)).or_insert(0);
+                *c += 1;
+                report.max_quorums_per_epoch_unstable =
+                    report.max_quorums_per_epoch_unstable.max(*c);
+                if r.t >= cfg.stable_from_micros {
+                    let c = stable_counts.entry((*p, *epoch, is_fs)).or_insert(0);
+                    *c += 1;
+                    let bound = if is_fs { cfg.fs_bound() } else { cfg.qs_bound() };
+                    if is_fs {
+                        report.max_fs_quorums_per_epoch = report.max_fs_quorums_per_epoch.max(*c);
+                    } else {
+                        report.max_qs_quorums_per_epoch = report.max_qs_quorums_per_epoch.max(*c);
+                    }
+                    if *c == bound + 1 {
+                        let thm = if is_fs {
+                            format!("Theorem 9 bound 3f+1={bound}")
+                        } else {
+                            format!("Theorem 3 bound f(f+1)={bound}")
+                        };
+                        report.violations.push(Violation {
+                            seq: r.seq,
+                            t: r.t,
+                            desc: format!(
+                                "process {p} exceeded {thm}: quorum #{c} issued in epoch {epoch} \
+                                 (algo {algo}) within the stable window"
+                            ),
+                        });
+                    }
+                }
+            }
+            TraceEvent::Executed { p, slot, digest } => {
+                match slot_digest.get(slot) {
+                    None => {
+                        slot_digest.insert(*slot, (*digest, *p, r.seq));
+                    }
+                    Some((d0, p0, seq0)) if d0 != digest => {
+                        report.violations.push(Violation {
+                            seq: r.seq,
+                            t: r.t,
+                            desc: format!(
+                                "slot {slot} agreement broken: process {p} executed digest \
+                                 {digest:#018x} but process {p0} executed {d0:#018x} (seq {seq0})"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+            TraceEvent::Crash { p } => {
+                down.insert(*p, r.seq);
+            }
+            TraceEvent::Restart { p, .. } => {
+                down.remove(p);
+            }
+            TraceEvent::MsgDeliver { from, to, .. } => {
+                if let Some(crash_seq) = down.get(to) {
+                    report.violations.push(Violation {
+                        seq: r.seq,
+                        t: r.t,
+                        desc: format!(
+                            "message from {from} delivered to {to}, which crashed at seq \
+                             {crash_seq} and has not restarted"
+                        ),
+                    });
+                }
+            }
+            TraceEvent::TimerFired { at } => {
+                if let Some(crash_seq) = down.get(at) {
+                    report.violations.push(Violation {
+                        seq: r.seq,
+                        t: r.t,
+                        desc: format!(
+                            "timer fired at {at}, which crashed at seq {crash_seq} and has not \
+                             restarted"
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    report.slots_checked = slot_digest.len() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, t: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, t, event }
+    }
+
+    fn quorum(seq: u64, t: u64, p: u32, epoch: u64, algo: &str) -> TraceRecord {
+        rec(
+            seq,
+            t,
+            TraceEvent::QuorumIssued {
+                p,
+                epoch,
+                algo: algo.into(),
+                members: vec![1, 2, 3],
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let events = vec![
+            TraceEvent::MsgSend {
+                from: 1,
+                to: 2,
+                kind: "prepare".into(),
+            },
+            TraceEvent::MsgDeliver {
+                from: 2,
+                to: 1,
+                kind: String::new(),
+            },
+            TraceEvent::MsgDrop {
+                from: 1,
+                to: 3,
+                reason: "link".into(),
+            },
+            TraceEvent::MsgDuplicated { from: 1, to: 2 },
+            TraceEvent::MsgReordered { from: 2, to: 3 },
+            TraceEvent::TimerFired { at: 1 },
+            TraceEvent::TimerStale { at: 2 },
+            TraceEvent::BufferedPaused { at: 3 },
+            TraceEvent::Crash { p: 4 },
+            TraceEvent::Restart {
+                p: 4,
+                incarnation: 2,
+            },
+            TraceEvent::Pause { p: 1 },
+            TraceEvent::Resume { p: 1 },
+            TraceEvent::FaultApplied {
+                desc: "Crash { p: \"4\" }\n".into(),
+            },
+            TraceEvent::EpochEntered {
+                p: 1,
+                epoch: 3,
+                algo: "qs".into(),
+            },
+            TraceEvent::QuorumIssued {
+                p: 1,
+                epoch: 3,
+                algo: "fs".into(),
+                members: vec![1, 2, 4],
+            },
+            TraceEvent::SuspicionChanged {
+                p: 2,
+                suspected: vec![],
+            },
+            TraceEvent::DetectionRaised { p: 2, against: 3 },
+            TraceEvent::ViewChangeStart { p: 1, target: 5 },
+            TraceEvent::ViewInstalled { p: 1, view: 5 },
+            TraceEvent::Decided { p: 1, slot: 9 },
+            TraceEvent::Executed {
+                p: 1,
+                slot: 9,
+                digest: u64::MAX,
+            },
+            TraceEvent::ClientCommit {
+                client: 10,
+                op: 7,
+                latency_us: 1234,
+            },
+            TraceEvent::ClientRetry {
+                client: 10,
+                op: 8,
+                interval_us: 4000,
+            },
+        ];
+        let records: Vec<TraceRecord> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| rec(i as u64, i as u64 * 10, event))
+            .collect();
+        let mut jsonl = String::new();
+        for r in &records {
+            r.write_jsonl(&mut jsonl);
+        }
+        let parsed = parse_jsonl(&jsonl).expect("roundtrip parse");
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_event() {
+        let err = parse_jsonl("{\"seq\":0,\"t\":0,\"ev\":\"warp_core_breach\"}\n").unwrap_err();
+        assert!(err.contains("unknown event"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("{\"seq\":0,").is_err());
+        assert!(parse_jsonl("{\"seq\":0,\"t\":0,\"ev\":\"crash\",\"p\":1}x").is_err());
+        assert!(parse_jsonl("{\"t\":0,\"ev\":\"crash\",\"p\":1}").is_err());
+    }
+
+    #[test]
+    fn quorum_bound_violation_is_flagged() {
+        // f=1: Theorem 3 allows f(f+1)=2 quorums per epoch; issue 3.
+        let records = vec![
+            quorum(0, 100, 1, 5, "qs"),
+            quorum(1, 200, 1, 5, "qs"),
+            quorum(2, 300, 1, 5, "qs"),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert!(!report.ok());
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].desc.contains("Theorem 3"), "{report}");
+        assert_eq!(report.max_qs_quorums_per_epoch, 3);
+    }
+
+    #[test]
+    fn quorum_bound_respects_stable_window() {
+        // Same three quorums, but two fall before the stable window:
+        // only one counts, so the bound holds.
+        let records = vec![
+            quorum(0, 100, 1, 5, "qs"),
+            quorum(1, 200, 1, 5, "qs"),
+            quorum(2, 300, 1, 5, "qs"),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 250,
+            },
+        );
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.max_qs_quorums_per_epoch, 1);
+        assert_eq!(report.max_quorums_per_epoch_unstable, 3);
+    }
+
+    #[test]
+    fn fs_bound_is_three_f_plus_one() {
+        // f=1: Theorem 9 allows 3f+1=4; the 5th violates.
+        let records: Vec<TraceRecord> =
+            (0..5).map(|i| quorum(i, 100 + i, 2, 7, "fs")).collect();
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].desc.contains("Theorem 9"), "{report}");
+        assert_eq!(report.max_fs_quorums_per_epoch, 5);
+    }
+
+    #[test]
+    fn slot_disagreement_is_flagged() {
+        let records = vec![
+            rec(
+                0,
+                10,
+                TraceEvent::Executed {
+                    p: 1,
+                    slot: 3,
+                    digest: 0xAA,
+                },
+            ),
+            rec(
+                1,
+                20,
+                TraceEvent::Executed {
+                    p: 2,
+                    slot: 3,
+                    digest: 0xAA,
+                },
+            ),
+            rec(
+                2,
+                30,
+                TraceEvent::Executed {
+                    p: 3,
+                    slot: 3,
+                    digest: 0xBB,
+                },
+            ),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].desc.contains("slot 3"), "{report}");
+        assert_eq!(report.slots_checked, 1);
+    }
+
+    #[test]
+    fn delivery_to_crashed_process_is_flagged() {
+        let records = vec![
+            rec(0, 10, TraceEvent::Crash { p: 2 }),
+            rec(
+                1,
+                20,
+                TraceEvent::MsgDeliver {
+                    from: 1,
+                    to: 2,
+                    kind: "prepare".into(),
+                },
+            ),
+            rec(
+                2,
+                30,
+                TraceEvent::Restart {
+                    p: 2,
+                    incarnation: 1,
+                },
+            ),
+            rec(
+                3,
+                40,
+                TraceEvent::MsgDeliver {
+                    from: 1,
+                    to: 2,
+                    kind: "prepare".into(),
+                },
+            ),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert_eq!(report.violations.len(), 1, "{report}");
+        assert_eq!(report.violations[0].seq, 1);
+    }
+
+    #[test]
+    fn clean_trace_reports_ok_display() {
+        let report = analyze(
+            &[quorum(0, 10, 1, 1, "qs")],
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        let text = format!("{report}");
+        assert!(text.contains("verdict: OK"), "{text}");
+    }
+}

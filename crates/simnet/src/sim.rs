@@ -1,10 +1,12 @@
 //! The simulation driver.
 
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use qsel_obs::{TraceEvent, TraceSink};
 use qsel_types::ProcessId;
 
 use crate::delay::DelayModel;
@@ -181,6 +183,47 @@ pub struct NetStats {
     pub by_kind: BTreeMap<&'static str, u64>,
 }
 
+impl NetStats {
+    /// Folds another run's statistics into this one (field-wise sums;
+    /// per-kind counts merge entry-wise) — for aggregating a seed sweep
+    /// into a single report.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_dropped += other.messages_dropped;
+        self.timers_fired += other.timers_fired;
+        self.messages_duplicated += other.messages_duplicated;
+        self.messages_reordered += other.messages_reordered;
+        self.stale_timers_dropped += other.stale_timers_dropped;
+        self.events_buffered_paused += other.events_buffered_paused;
+        self.restarts += other.restarts;
+        self.faults_injected += other.faults_injected;
+        for (kind, n) in &other.by_kind {
+            *self.by_kind.entry(kind).or_insert(0) += n;
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "network stats:")?;
+        writeln!(f, "  messages sent        {:>12}", self.messages_sent)?;
+        writeln!(f, "  messages delivered   {:>12}", self.messages_delivered)?;
+        writeln!(f, "  messages dropped     {:>12}", self.messages_dropped)?;
+        writeln!(f, "  timers fired         {:>12}", self.timers_fired)?;
+        writeln!(f, "  messages duplicated  {:>12}", self.messages_duplicated)?;
+        writeln!(f, "  messages reordered   {:>12}", self.messages_reordered)?;
+        writeln!(f, "  stale timers dropped {:>12}", self.stale_timers_dropped)?;
+        writeln!(f, "  buffered while paused{:>12}", self.events_buffered_paused)?;
+        writeln!(f, "  restarts             {:>12}", self.restarts)?;
+        write!(f, "  faults injected      {:>12}", self.faults_injected)?;
+        for (kind, n) in &self.by_kind {
+            write!(f, "\n  sent[{kind}]{:>pad$}", n, pad = 27usize.saturating_sub(kind.len()))?;
+        }
+        Ok(())
+    }
+}
+
 /// A deterministic discrete-event simulation over actors of type `A`
 /// exchanging messages of type `M`.
 ///
@@ -206,6 +249,7 @@ pub struct Simulation<M, A> {
     rng: StdRng,
     started: bool,
     stats: NetStats,
+    trace: TraceSink,
     classifier: Option<Box<dyn Fn(&M) -> &'static str>>,
     scratch_sends: Vec<(ProcessId, M)>,
     scratch_timers: Vec<(SimDuration, TimerId)>,
@@ -240,6 +284,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             rng,
             started: false,
             stats: NetStats::default(),
+            trace: TraceSink::disabled(),
             classifier: None,
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
@@ -248,9 +293,23 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
     }
 
     /// Installs a message classifier for per-kind statistics
-    /// ([`NetStats::by_kind`]).
+    /// ([`NetStats::by_kind`]) and for the `kind` field of traced message
+    /// events.
     pub fn set_classifier(&mut self, f: impl Fn(&M) -> &'static str + 'static) {
         self.classifier = Some(Box::new(f));
+    }
+
+    /// Installs a trace sink. The simulator stamps its simulated clock into
+    /// the sink as time advances, so clones handed to sans-io modules emit
+    /// correctly-timestamped events. Tracing never consumes RNG draws:
+    /// enabling it cannot change the run it observes.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The installed trace sink (disabled by default).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Current simulated time.
@@ -291,9 +350,16 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
     pub fn crash(&mut self, p: ProcessId) {
         self.crashed[p.index()] = true;
         self.paused[p.index()] = false;
+        self.trace.emit(|| TraceEvent::Crash { p: p.0 });
         for ev in self.pause_buf[p.index()].drain(..) {
-            if matches!(ev.payload, Payload::Deliver { .. }) {
+            if let Payload::Deliver { from, .. } = &ev.payload {
                 self.stats.messages_dropped += 1;
+                let from = from.0;
+                self.trace.emit(|| TraceEvent::MsgDrop {
+                    from,
+                    to: p.0,
+                    reason: "crashed".into(),
+                });
             }
         }
     }
@@ -322,6 +388,9 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         self.crashed[p.index()] = false;
         self.incarnation[p.index()] += 1;
         self.stats.restarts += 1;
+        let incarnation = self.incarnation[p.index()];
+        self.trace
+            .emit(|| TraceEvent::Restart { p: p.0, incarnation });
         if self.started {
             self.dispatch(p, |actor, ctx| actor.on_recover(ctx));
         }
@@ -334,6 +403,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
     pub fn pause(&mut self, p: ProcessId) {
         if !self.crashed[p.index()] {
             self.paused[p.index()] = true;
+            self.trace.emit(|| TraceEvent::Pause { p: p.0 });
         }
     }
 
@@ -344,6 +414,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             return;
         }
         self.paused[p.index()] = false;
+        self.trace.emit(|| TraceEvent::Resume { p: p.0 });
         let buffered: Vec<QueuedEvent<M>> = self.pause_buf[p.index()].drain(..).collect();
         for mut ev in buffered {
             ev.time = self.now;
@@ -475,6 +546,10 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         if t > self.now {
             self.now = t;
         }
+        self.trace.set_now(self.now.as_micros());
+        self.trace.emit(|| TraceEvent::FaultApplied {
+            desc: format!("{fault:?}"),
+        });
         self.stats.faults_injected += 1;
         match fault {
             FaultEvent::Partition(group) => self.partition(&group),
@@ -518,10 +593,17 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         };
         debug_assert!(ev.time >= self.now, "event queue out of order");
         self.now = ev.time;
+        self.trace.set_now(self.now.as_micros());
         let to = ev.to;
         if self.crashed[to.index()] {
-            if matches!(ev.payload, Payload::Deliver { .. }) {
+            if let Payload::Deliver { from, .. } = &ev.payload {
                 self.stats.messages_dropped += 1;
+                let from = from.0;
+                self.trace.emit(|| TraceEvent::MsgDrop {
+                    from,
+                    to: to.0,
+                    reason: "crashed".into(),
+                });
             }
             return true;
         }
@@ -529,6 +611,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             // A restarted process must not see its previous life's timers.
             if ev.inc != self.incarnation[to.index()] {
                 self.stats.stale_timers_dropped += 1;
+                self.trace.emit(|| TraceEvent::TimerStale { at: to.0 });
                 return true;
             }
         }
@@ -536,16 +619,26 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             // Gray failure: the process is frozen, not dead. Hold the event
             // for replay at resume time.
             self.stats.events_buffered_paused += 1;
+            self.trace.emit(|| TraceEvent::BufferedPaused { at: to.0 });
             self.pause_buf[to.index()].push_back(ev);
             return true;
         }
         match ev.payload {
             Payload::Deliver { from, msg } => {
                 self.stats.messages_delivered += 1;
+                if self.trace.enabled() {
+                    let kind = self.classifier.as_ref().map_or("", |c| c(&msg));
+                    self.trace.emit(|| TraceEvent::MsgDeliver {
+                        from: from.0,
+                        to: to.0,
+                        kind: kind.into(),
+                    });
+                }
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
             Payload::Timer { id } => {
                 self.stats.timers_fired += 1;
+                self.trace.emit(|| TraceEvent::TimerFired { at: to.0 });
                 self.dispatch(to, |actor, ctx| actor.on_timer(ctx, id));
             }
         }
@@ -570,6 +663,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             );
         }
         self.now = until;
+        self.trace.set_now(self.now.as_micros());
     }
 
     /// Runs until the event queue is fully drained. Returns the number of
@@ -634,13 +728,25 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             "send to unknown actor {to}"
         );
         self.stats.messages_sent += 1;
+        let mut kind = "";
         if let Some(classify) = &self.classifier {
-            *self.stats.by_kind.entry(classify(&msg)).or_insert(0) += 1;
+            kind = classify(&msg);
+            *self.stats.by_kind.entry(kind).or_insert(0) += 1;
         }
+        self.trace.emit(|| TraceEvent::MsgSend {
+            from: from.0,
+            to: to.0,
+            kind: kind.into(),
+        });
         let idx = self.link_index(from, to);
         let link = &self.links[idx];
         if link.drop_all || (link.drop_prob > 0.0 && self.rng.random::<f64>() < link.drop_prob) {
             self.stats.messages_dropped += 1;
+            self.trace.emit(|| TraceEvent::MsgDrop {
+                from: from.0,
+                to: to.0,
+                reason: "link".into(),
+            });
             return;
         }
         // Every extra RNG draw below is gated on its fault knob being
@@ -652,6 +758,10 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             // The duplicate takes an independent delay and respects the
             // FIFO floor, so it trails the original or later traffic.
             self.stats.messages_duplicated += 1;
+            self.trace.emit(|| TraceEvent::MsgDuplicated {
+                from: from.0,
+                to: to.0,
+            });
             self.enqueue_delivery(idx, from, to, false, msg.clone());
         }
         self.enqueue_delivery(idx, from, to, reorder, msg);
@@ -677,6 +787,10 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             // Hold the message back without advancing the FIFO floor:
             // traffic sent later may overtake it.
             self.stats.messages_reordered += 1;
+            self.trace.emit(|| TraceEvent::MsgReordered {
+                from: from.0,
+                to: to.0,
+            });
             let hold = model.sample(&mut self.rng, self.now).saturating_mul(3);
             deliver_at = deliver_at + hold + SimDuration::micros(1);
         } else if self.cfg.fifo {

@@ -171,7 +171,7 @@ impl ClusterConfig {
 /// assert!(s.contains(ProcessId(3)));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![ProcessId(3), ProcessId(7)]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProcessSet {
     bits: u128,
 }
@@ -267,7 +267,10 @@ impl ProcessSet {
     }
 
     /// The smallest member, if any.
-    pub fn min(&self) -> Option<ProcessId> {
+    ///
+    /// Takes `self` by value (the set is `Copy`) so this inherent method
+    /// outranks `Ord::min` during method resolution.
+    pub fn min(self) -> Option<ProcessId> {
         if self.bits == 0 {
             None
         } else {

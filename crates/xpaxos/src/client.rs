@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use qsel_detector::TimeoutPolicy;
+use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{Context, SimDuration, SimTime, TimerId};
 use qsel_types::{ClusterConfig, ProcessId};
 
@@ -37,6 +38,7 @@ pub struct Client {
     pub completed: Vec<(u64, u64, SimDuration)>,
     /// Retransmissions sent.
     pub retries: u64,
+    trace: TraceSink,
 }
 
 impl Client {
@@ -58,7 +60,14 @@ impl Client {
             tally: HashMap::new(),
             completed: Vec::new(),
             retries: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs a trace sink (typically a clone of the simulation's, so
+    /// events carry the ambient simulated time).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Completed operation count.
@@ -111,8 +120,13 @@ impl Client {
         // f+1 matching replies guarantee at least one correct replica
         // executed the operation at this slot.
         if entry.len() as u32 >= self.cluster.f() + 1 {
-            self.completed
-                .push((reply.op, reply.result, ctx.now() - self.sent_at));
+            let latency = ctx.now() - self.sent_at;
+            self.completed.push((reply.op, reply.result, latency));
+            self.trace.emit(|| TraceEvent::ClientCommit {
+                client: self.me.0,
+                op: reply.op,
+                latency_us: latency.as_micros(),
+            });
             // The system answered: let an inflated retry interval decay
             // back toward the base.
             self.backoff.record_success();
@@ -148,6 +162,11 @@ impl qsel_simnet::Actor<XpMsg> for Client {
             // (capped) interval.
             self.retries += 1;
             self.backoff.back_off();
+            self.trace.emit(|| TraceEvent::ClientRetry {
+                client: self.me.0,
+                op,
+                interval_us: self.backoff.current().as_micros(),
+            });
             let req = self.current_request();
             for r in self.cluster.processes() {
                 ctx.send(r, XpMsg::Request(req.clone()));

@@ -1,5 +1,6 @@
 //! Ready-made simulation harness: replicas + clients + Byzantine variants.
 
+use qsel_obs::TraceSink;
 use qsel_simnet::{Actor, Context, SimConfig, SimDuration, Simulation, TimerId};
 use qsel_types::crypto::{Keychain, Signer};
 use qsel_types::{ClusterConfig, ProcessId};
@@ -140,6 +141,7 @@ pub struct ClusterBuilder {
     ops_per_client: u64,
     seed: u64,
     retry: SimDuration,
+    trace: TraceSink,
 }
 
 impl ClusterBuilder {
@@ -152,6 +154,7 @@ impl ClusterBuilder {
             ops_per_client: 10,
             seed,
             retry: SimDuration::millis(20),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -177,6 +180,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a trace sink: the simulation and every built replica
+    /// (including its failure detector and quorum-selection module) and
+    /// client get clones sharing one buffer and ambient clock. Custom
+    /// actors from `build_with` are wired too. The default (disabled)
+    /// sink records nothing at zero cost.
+    #[must_use]
+    pub fn trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
     /// The keychain the built cluster will use (for crafting Byzantine
     /// actors that must share it).
     pub fn keychain(&self) -> Keychain {
@@ -193,22 +207,23 @@ impl ClusterBuilder {
         let total = self.cfg.n() + self.clients;
         let mut actors: Vec<XpActor> = Vec::new();
         for p in self.cfg.processes() {
-            let actor = make_replica(p, &chain).unwrap_or_else(|| {
+            let mut actor = make_replica(p, &chain).unwrap_or_else(|| {
                 XpActor::Replica(Replica::new(self.cfg, p, &chain, self.rcfg.clone()))
             });
+            if let XpActor::Replica(r) = &mut actor {
+                r.set_trace_sink(self.trace.clone());
+            }
             actors.push(actor);
         }
         for c in 0..self.clients {
             let id = ProcessId(self.cfg.n() + c + 1);
-            actors.push(XpActor::Client(Client::new(
-                id,
-                self.cfg,
-                self.retry,
-                self.ops_per_client,
-            )));
+            let mut client = Client::new(id, self.cfg, self.retry, self.ops_per_client);
+            client.set_trace_sink(self.trace.clone());
+            actors.push(XpActor::Client(client));
         }
         let mut sim = Simulation::new(SimConfig::new(total, self.seed), actors);
         sim.set_classifier(|m: &XpMsg| m.kind());
+        sim.set_trace_sink(self.trace);
         sim
     }
 

@@ -24,6 +24,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use qsel::{QsOutput, QuorumSelection};
 use qsel_detector::{FailureDetector, FdConfig, FdOutput};
+use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{Context, SimDuration, TimerId};
 use qsel_types::crypto::{Keychain, Signer, Verifier};
 use qsel_types::{ClusterConfig, ProcessId, Quorum};
@@ -141,6 +142,14 @@ pub struct Replica {
     hb_seq: u64,
     stats: ReplicaStats,
     view_history: Vec<(qsel_simnet::SimTime, u64)>,
+    trace: TraceSink,
+}
+
+/// First 8 bytes of a request digest — the compact identity traced with
+/// `Executed` events, which the replay analyzer compares across replicas
+/// for per-slot agreement.
+fn digest_fingerprint(d: &qsel_types::crypto::Digest) -> u64 {
+    u64::from_be_bytes(d.0[..8].try_into().expect("digest has 32 bytes"))
 }
 
 /// Deferred effects produced while handling one event.
@@ -187,9 +196,21 @@ impl Replica {
             hb_seq: 0,
             stats: ReplicaStats::default(),
             view_history: Vec::new(),
+            trace: TraceSink::disabled(),
             cfg,
             rcfg,
         }
+    }
+
+    /// Installs a trace sink, forwarded to the embedded failure detector
+    /// and quorum-selection module so all three layers share one buffer
+    /// and ambient clock.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.fd.set_trace_sink(sink.clone());
+        if let Some(qs) = &mut self.qs {
+            qs.set_trace_sink(sink.clone());
+        }
+        self.trace = sink;
     }
 
     // ------------------------------------------------------------------
@@ -657,9 +678,18 @@ impl Replica {
             .try_decide(slot, quorum.members(), leader, self.me)
         {
             self.stats.decided += 1;
+            self.trace.emit(|| TraceEvent::Decided {
+                p: self.me.0,
+                slot,
+            });
         }
         for (s, req) in self.log.execute_ready() {
             self.stats.executed += 1;
+            self.trace.emit(|| TraceEvent::Executed {
+                p: self.me.0,
+                slot: s,
+                digest: digest_fingerprint(&req.digest()),
+            });
             outs.sends.push((
                 req.client,
                 XpMsg::Reply(Reply {
@@ -685,6 +715,10 @@ impl Replica {
     fn start_view_change(&mut self, now: qsel_simnet::SimTime, target: u64, outs: &mut Outs) {
         debug_assert!(target > self.view);
         self.stats.view_changes += 1;
+        self.trace.emit(|| TraceEvent::ViewChangeStart {
+            p: self.me.0,
+            target,
+        });
         self.phase = Phase::ViewChange { target };
         self.vc_gen += 1;
         self.nv_expected = false;
@@ -865,6 +899,10 @@ impl Replica {
         self.phase = Phase::Normal;
         self.vc_gen += 1; // invalidates any pending stall timer
         self.stats.views_installed += 1;
+        self.trace.emit(|| TraceEvent::ViewInstalled {
+            p: self.me.0,
+            view: target,
+        });
         self.view_history.push((now, target));
         self.collected_vc.remove(&target);
         let fd_out = self.fd.cancel_all(now);
@@ -1014,6 +1052,11 @@ impl Replica {
         }
         for (s, req) in self.log.execute_ready() {
             self.stats.executed += 1;
+            self.trace.emit(|| TraceEvent::Executed {
+                p: self.me.0,
+                slot: s,
+                digest: digest_fingerprint(&req.digest()),
+            });
             outs.sends.push((
                 req.client,
                 XpMsg::Reply(Reply {
@@ -1058,6 +1101,10 @@ impl Replica {
 
     fn detect(&mut self, now: qsel_simnet::SimTime, who: ProcessId, outs: &mut Outs) {
         self.stats.detections += 1;
+        self.trace.emit(|| TraceEvent::DetectionRaised {
+            p: self.me.0,
+            against: who.0,
+        });
         let fd_out = self.fd.detected(now, who);
         self.pump_fd(now, fd_out, outs);
     }

@@ -12,6 +12,7 @@
 //! Shared by the `tests/chaos.rs` soak suite and the
 //! `examples/chaos_run.rs` smoke binary (which CI runs on a fixed seed).
 
+use qsel_obs::TraceSink;
 use qsel_simnet::{FaultEvent, FaultPlan, LinkState, SimDuration, SimTime, Simulation};
 use qsel_types::{ClusterConfig, ProcessId};
 use qsel_xpaxos::harness::{assert_safety, total_committed, ClusterBuilder, XpActor};
@@ -127,9 +128,17 @@ pub fn plan_for(seed: u64, n: u32) -> FaultPlan {
 
 /// Builds the standard chaos cluster for `seed`.
 pub fn build(seed: u64) -> Simulation<XpMsg, XpActor> {
+    build_traced(seed, TraceSink::disabled())
+}
+
+/// Builds the standard chaos cluster for `seed` with a trace sink wired
+/// through every layer (simulator, replicas, detectors, selection modules,
+/// clients).
+pub fn build_traced(seed: u64, sink: TraceSink) -> Simulation<XpMsg, XpActor> {
     let cfg = ClusterConfig::new(N, F).unwrap();
     ClusterBuilder::new(cfg, seed)
         .clients(CLIENTS, OPS_PER_CLIENT)
+        .trace_sink(sink)
         .build()
 }
 
@@ -162,10 +171,18 @@ impl ChaosRun {
 /// invariant is ever violated. Liveness is *reported*, not asserted —
 /// callers decide how to fail.
 pub fn run_chaos(seed: u64) -> ChaosRun {
+    run_chaos_with_sink(seed, TraceSink::disabled())
+}
+
+/// [`run_chaos`] with a trace sink wired through the whole stack. Passing
+/// [`TraceSink::disabled`] reproduces `run_chaos` exactly: tracing draws
+/// nothing from the simulation's RNG, so the traced and untraced runs of a
+/// seed are the same execution.
+pub fn run_chaos_with_sink(seed: u64, sink: TraceSink) -> ChaosRun {
     let plan = plan_for(seed, N);
     let heal_time = plan.last_fault_time().expect("plan is never empty");
     let expected = CLIENTS as u64 * OPS_PER_CLIENT;
-    let mut sim = build(seed);
+    let mut sim = build_traced(seed, sink);
     sim.schedule_plan(plan.clone());
 
     // Safety must hold while faults are still active, not just at the end.

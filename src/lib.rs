@@ -15,6 +15,7 @@
 //! | [`qsel_xpaxos`] | the XPaxos SMR substrate with both quorum policies (§V) |
 //! | [`qsel_pbft`] | PBFT-style all-to-all baseline for the message-count claim |
 //! | [`qsel_adversary`] | Theorem 3/4/9 adversary games and Byzantine actors |
+//! | [`qsel_obs`] | deterministic tracing, metrics, offline trace-replay bound checks |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -27,6 +28,7 @@ pub use qsel;
 pub use qsel_adversary;
 pub use qsel_detector;
 pub use qsel_graph;
+pub use qsel_obs;
 pub use qsel_pbft;
 pub use qsel_simnet;
 pub use qsel_types;

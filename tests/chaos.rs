@@ -18,7 +18,7 @@
 //! the reproducibility contract itself.
 
 use qsel_repro::chaos::{plan_for, run_chaos, ChaosRun, N};
-use qsel_simnet::FaultEvent;
+use qsel_simnet::{FaultEvent, NetStats};
 use qsel_types::ProcessId;
 
 /// Runs one seed and asserts post-heal liveness with a reproducible
@@ -40,25 +40,36 @@ fn chaos_soak_over_twenty_seeds() {
     // ≥ 20 distinct seeded fault schedules. Aggregate counters prove the
     // suite actually exercised every fault class rather than passing
     // vacuously.
-    let mut restarts = 0u64;
-    let mut duplicated = 0u64;
-    let mut reordered = 0u64;
-    let mut buffered_paused = 0u64;
-    let mut faults = 0u64;
+    let mut total = NetStats::default();
     for seed in 1..=24u64 {
         let run = run_live(seed);
-        let stats = run.sim.stats();
-        restarts += stats.restarts;
-        duplicated += stats.messages_duplicated;
-        reordered += stats.messages_reordered;
-        buffered_paused += stats.events_buffered_paused;
-        faults += stats.faults_injected;
+        total.merge(run.sim.stats());
     }
-    assert!(faults >= 24 * 6, "suspiciously few faults applied: {faults}");
-    assert!(restarts > 0, "no run exercised crash-recovery");
-    assert!(duplicated > 0, "no run exercised duplication");
-    assert!(reordered > 0, "no run exercised reordering");
-    assert!(buffered_paused > 0, "no run exercised gray-failure pauses");
+    let report = format!("{total}");
+    assert!(
+        total.faults_injected >= 24 * 6,
+        "suspiciously few faults applied\n{report}"
+    );
+    assert!(total.restarts > 0, "no run exercised crash-recovery\n{report}");
+    assert!(
+        total.messages_duplicated > 0,
+        "no run exercised duplication\n{report}"
+    );
+    assert!(
+        total.messages_reordered > 0,
+        "no run exercised reordering\n{report}"
+    );
+    assert!(
+        total.events_buffered_paused > 0,
+        "no run exercised gray-failure pauses\n{report}"
+    );
+    // The merged per-kind map must cover the protocol's message families.
+    for kind in ["request", "prepare", "commit", "reply"] {
+        assert!(
+            total.by_kind.get(kind).copied().unwrap_or(0) > 0,
+            "no run sent any {kind:?} messages\n{report}"
+        );
+    }
 }
 
 #[test]
