@@ -1,7 +1,17 @@
 //! Wire messages of the quorum-selection and follower-selection protocols.
 
-use qsel_types::encode::Encode;
+use qsel_types::encode::{Decode, DecodeError, Encode, Reader};
 use qsel_types::{Epoch, ProcessId, Signed};
+
+/// Consumes a 4-byte domain-separation tag, rejecting a mismatch.
+fn expect_tag(r: &mut Reader<'_>, tag: &[u8; 4]) -> Result<(), DecodeError> {
+    let got = r.take(4)?;
+    if got == tag {
+        Ok(())
+    } else {
+        Err(DecodeError::BadTag(got[0]))
+    }
+}
 
 /// Payload of an `⟨UPDATE, suspected[i]⟩_σ` message (Algorithm 1 line 15):
 /// one row of the `suspected` matrix, i.e. the epochs in which the signer
@@ -23,6 +33,15 @@ impl Encode for UpdateRow {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(b"UPDT");
         self.row.encode(buf);
+    }
+}
+
+impl Decode for UpdateRow {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"UPDT")?;
+        Ok(UpdateRow {
+            row: Vec::decode(r)?,
+        })
     }
 }
 
@@ -49,6 +68,17 @@ impl Encode for FollowersPayload {
         self.followers.encode(buf);
         self.line_edges.encode(buf);
         self.epoch.encode(buf);
+    }
+}
+
+impl Decode for FollowersPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"FLWR")?;
+        Ok(FollowersPayload {
+            followers: Vec::decode(r)?,
+            line_edges: Vec::decode(r)?,
+            epoch: Epoch::decode(r)?,
+        })
     }
 }
 

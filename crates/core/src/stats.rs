@@ -189,6 +189,48 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = SelectionStats::default();
+        s.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        s.record_quorum(Epoch(2), set(&[1, 2, 3]));
+        s.updates_sent = 2;
+        s.detections_raised = 1;
+        let original = s.clone();
+        // Folding an empty module changes nothing …
+        s.merge(&SelectionStats::default());
+        assert_eq!(s, original);
+        // … and folding into an empty accumulator reproduces the input,
+        // including the revisit count and first-issue order.
+        let mut acc = SelectionStats::default();
+        acc.merge(&original);
+        assert_eq!(acc.quorums_issued, original.quorums_issued);
+        assert_eq!(acc.quorums_per_epoch, original.quorums_per_epoch);
+        assert_eq!(acc.issued_sets, original.issued_sets);
+        assert_eq!(acc.quorums_revisited, original.quorums_revisited);
+        assert_eq!(acc.updates_sent, 2);
+        assert_eq!(acc.detections_raised, 1);
+    }
+
+    #[test]
+    fn merge_preserves_each_side_revisit_accounting() {
+        // Two modules that each revisited once: the merged revisit count
+        // is exactly the sum — the overlap in member-sets between the two
+        // modules must not manufacture additional revisits.
+        let mut a = SelectionStats::default();
+        a.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        a.record_quorum(Epoch(2), set(&[1, 2, 3]));
+        let mut b = SelectionStats::default();
+        b.record_quorum(Epoch(1), set(&[1, 2, 3]));
+        b.record_quorum(Epoch(2), set(&[1, 2, 3]));
+        assert_eq!(a.quorums_revisited, 1);
+        assert_eq!(b.quorums_revisited, 1);
+        a.merge(&b);
+        assert_eq!(a.quorums_revisited, 2);
+        assert_eq!(a.distinct_quorums(), 1);
+        assert_eq!(a.quorums_issued, 4);
+    }
+
+    #[test]
     fn display_is_a_full_report() {
         let mut s = SelectionStats::default();
         s.record_quorum(Epoch(1), set(&[1, 2, 3]));

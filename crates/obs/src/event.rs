@@ -154,6 +154,30 @@ pub enum TraceEvent {
         /// The decided slot.
         slot: u64,
     },
+    /// A leader closed a batch and proposed it at a slot. Emitted only
+    /// under a non-passthrough `BatchPolicy`, so default-policy traces are
+    /// byte-identical to the unbatched protocol's.
+    BatchProposed {
+        /// The proposing leader.
+        p: u32,
+        /// The slot the batch occupies.
+        slot: u64,
+        /// Requests in the batch.
+        size: u64,
+    },
+    /// A replica decided a batched slot. Emitted alongside `Decided` under
+    /// a non-passthrough `BatchPolicy`; carries the batch identity the
+    /// replay analyzer compares across replicas.
+    BatchCommitted {
+        /// The replica.
+        p: u32,
+        /// The decided slot.
+        slot: u64,
+        /// Requests in the decided batch.
+        size: u64,
+        /// First 8 bytes of the batch's SHA-256 digest.
+        digest: u64,
+    },
     /// A replica executed the request at a slot.
     Executed {
         /// The replica.
@@ -208,6 +232,8 @@ impl TraceEvent {
             TraceEvent::ViewChangeStart { .. } => "view_change_start",
             TraceEvent::ViewInstalled { .. } => "view_installed",
             TraceEvent::Decided { .. } => "decided",
+            TraceEvent::BatchProposed { .. } => "batch_proposed",
+            TraceEvent::BatchCommitted { .. } => "batch_committed",
             TraceEvent::Executed { .. } => "executed",
             TraceEvent::ClientCommit { .. } => "client_commit",
             TraceEvent::ClientRetry { .. } => "client_retry",
@@ -334,6 +360,22 @@ impl TraceRecord {
             TraceEvent::Decided { p, slot } => {
                 push_u64_field(out, "p", u64::from(*p));
                 push_u64_field(out, "slot", *slot);
+            }
+            TraceEvent::BatchProposed { p, slot, size } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+                push_u64_field(out, "size", *size);
+            }
+            TraceEvent::BatchCommitted {
+                p,
+                slot,
+                size,
+                digest,
+            } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+                push_u64_field(out, "size", *size);
+                push_u64_field(out, "digest", *digest);
             }
             TraceEvent::Executed { p, slot, digest } => {
                 push_u64_field(out, "p", u64::from(*p));

@@ -237,10 +237,19 @@ pub const LATENCY_BOUNDS_US: [u64; 10] = [
 /// Bucket edges for small counts (quorums per epoch).
 pub const COUNT_BOUNDS: [u64; 8] = [0, 1, 2, 3, 4, 6, 8, 16];
 
+/// Bucket edges for batch sizes (requests per proposed batch).
+pub const BATCH_SIZE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
 /// Derives the standard metric set from a trace:
 ///
 /// * `events.*` counters — one per event kind;
-/// * `commit_latency_us` — client-observed commit latency;
+/// * `commit_latency_us` — per-request client-observed commit latency
+///   (one sample per client request, even when several requests commit
+///   together in a batched slot);
+/// * `batch_size` — requests per proposed batch, from leader-side
+///   `batch_proposed` events (absent in passthrough/unbatched runs);
+/// * `batch.requests_decided` counter — total requests across all
+///   `batch_committed` events;
 /// * `view_change_duration_us` — per replica, `ViewChangeStart` to the
 ///   next `ViewInstalled` at a view ≥ the target;
 /// * `quorums_per_epoch` — quorums issued per `(process, epoch, algo)`,
@@ -280,6 +289,12 @@ pub fn standard_metrics(records: &[TraceRecord]) -> MetricsRegistry {
             }
             TraceEvent::QuorumIssued { p, epoch, algo, .. } => {
                 *per_epoch.entry((*p, *epoch, algo.clone())).or_insert(0) += 1;
+            }
+            TraceEvent::BatchProposed { size, .. } => {
+                m.histogram_record("batch_size", &BATCH_SIZE_BOUNDS, *size);
+            }
+            TraceEvent::BatchCommitted { size, .. } => {
+                m.counter_add("batch.requests_decided", *size);
             }
             _ => {}
         }
@@ -365,6 +380,47 @@ mod tests {
         assert_eq!(h.max(), 500, "duration from the first start of the outage");
         assert_eq!(m.counter("events.client_commit"), 1);
         assert_eq!(m.histogram("commit_latency_us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn standard_metrics_tracks_batches() {
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                t: 10,
+                event: TraceEvent::BatchProposed {
+                    p: 1,
+                    slot: 0,
+                    size: 4,
+                },
+            },
+            TraceRecord {
+                seq: 1,
+                t: 20,
+                event: TraceEvent::BatchCommitted {
+                    p: 1,
+                    slot: 0,
+                    size: 4,
+                    digest: 0xD,
+                },
+            },
+            TraceRecord {
+                seq: 2,
+                t: 21,
+                event: TraceEvent::BatchCommitted {
+                    p: 2,
+                    slot: 0,
+                    size: 4,
+                    digest: 0xD,
+                },
+            },
+        ];
+        let m = standard_metrics(&records);
+        let h = m.histogram("batch_size").unwrap();
+        assert_eq!(h.count(), 1, "one proposed batch");
+        assert_eq!(h.max(), 4);
+        assert_eq!(m.counter("batch.requests_decided"), 8);
+        assert_eq!(m.counter("events.batch_committed"), 2);
     }
 
     #[test]

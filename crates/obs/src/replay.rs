@@ -11,9 +11,12 @@
 //!    accurate: during active fault injection the suspect matrix is not
 //!    monotone and the bounds do not apply. Pass `0` to check the whole
 //!    trace.
-//! 2. **Per-slot agreement** — all `executed` events for one slot must
-//!    carry the same request digest across replicas (safety of the
-//!    replicated log).
+//! 2. **Per-slot agreement** — every replica must execute the same
+//!    *sequence* of request digests for one slot (a batched slot holds
+//!    several requests, so a slot maps to a digest sequence, not a single
+//!    digest), and all `batch_committed` events for one slot must carry
+//!    the same batch digest across replicas (safety of the replicated
+//!    log).
 //! 3. **No delivery to a crashed incarnation** — between a `crash` of
 //!    process *p* and its next `restart`, no `msg_deliver` (or
 //!    `timer_fired`) may target *p*.
@@ -353,6 +356,17 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
                 p: u32_field(&fields, "p", line_no)?,
                 slot: u64_field(&fields, "slot", line_no)?,
             },
+            "batch_proposed" => TraceEvent::BatchProposed {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                size: u64_field(&fields, "size", line_no)?,
+            },
+            "batch_committed" => TraceEvent::BatchCommitted {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                size: u64_field(&fields, "size", line_no)?,
+                digest: u64_field(&fields, "digest", line_no)?,
+            },
             "executed" => TraceEvent::Executed {
                 p: u32_field(&fields, "p", line_no)?,
                 slot: u64_field(&fields, "slot", line_no)?,
@@ -487,8 +501,17 @@ pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
     // Check 1 state: quorum counts per (process, epoch, algo).
     let mut stable_counts: HashMap<(u32, u64, bool), u64> = HashMap::new();
     let mut all_counts: HashMap<(u32, u64, bool), u64> = HashMap::new();
-    // Check 2 state: slot -> (digest, first writer, first seq).
-    let mut slot_digest: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new();
+    // Check 2 state: slot -> (reference process, its executed digest
+    // sequence). A batched slot executes several requests, so agreement
+    // is sequence-wise: the first process to execute the slot fixes the
+    // reference order (its events are contiguous in the trace — one
+    // simulation step executes the whole batch), and every later process
+    // is compared index-by-index via a per-(process, slot) cursor.
+    let mut slot_exec: BTreeMap<u64, (u32, Vec<u64>)> = BTreeMap::new();
+    let mut exec_cursor: HashMap<(u32, u64), usize> = HashMap::new();
+    // Check 2 state (batched runs): slot -> (batch digest, first writer,
+    // first seq) from `batch_committed` events.
+    let mut slot_batch_digest: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new();
     // Check 3 state: processes currently down (crashed, not yet restarted).
     let mut down: HashMap<u32, u64> = HashMap::new();
 
@@ -527,17 +550,48 @@ pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
                 }
             }
             TraceEvent::Executed { p, slot, digest } => {
-                match slot_digest.get(slot) {
+                let (ref_p, seq) = slot_exec.entry(*slot).or_insert_with(|| (*p, Vec::new()));
+                let cursor = exec_cursor.entry((*p, *slot)).or_insert(0);
+                if *ref_p == *p {
+                    seq.push(*digest);
+                } else if *cursor >= seq.len() {
+                    report.violations.push(Violation {
+                        seq: r.seq,
+                        t: r.t,
+                        desc: format!(
+                            "slot {slot} agreement broken: process {p} executed request \
+                             #{cursor} (digest {digest:#018x}) but process {ref_p} executed \
+                             only {} request(s) in that slot",
+                            seq.len()
+                        ),
+                    });
+                } else if seq[*cursor] != *digest {
+                    let d0 = seq[*cursor];
+                    report.violations.push(Violation {
+                        seq: r.seq,
+                        t: r.t,
+                        desc: format!(
+                            "slot {slot} agreement broken: at position {cursor} process {p} \
+                             executed digest {digest:#018x} but process {ref_p} executed \
+                             {d0:#018x}"
+                        ),
+                    });
+                }
+                *cursor += 1;
+            }
+            TraceEvent::BatchCommitted { p, slot, digest, .. } => {
+                match slot_batch_digest.get(slot) {
                     None => {
-                        slot_digest.insert(*slot, (*digest, *p, r.seq));
+                        slot_batch_digest.insert(*slot, (*digest, *p, r.seq));
                     }
                     Some((d0, p0, seq0)) if d0 != digest => {
                         report.violations.push(Violation {
                             seq: r.seq,
                             t: r.t,
                             desc: format!(
-                                "slot {slot} agreement broken: process {p} executed digest \
-                                 {digest:#018x} but process {p0} executed {d0:#018x} (seq {seq0})"
+                                "slot {slot} batch agreement broken: process {p} committed \
+                                 batch digest {digest:#018x} but process {p0} committed \
+                                 {d0:#018x} (seq {seq0})"
                             ),
                         });
                     }
@@ -577,7 +631,7 @@ pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
             _ => {}
         }
     }
-    report.slots_checked = slot_digest.len() as u64;
+    report.slots_checked = (slot_exec.len() as u64).max(slot_batch_digest.len() as u64);
     report
 }
 
@@ -654,6 +708,17 @@ mod tests {
             TraceEvent::ViewChangeStart { p: 1, target: 5 },
             TraceEvent::ViewInstalled { p: 1, view: 5 },
             TraceEvent::Decided { p: 1, slot: 9 },
+            TraceEvent::BatchProposed {
+                p: 1,
+                slot: 9,
+                size: 4,
+            },
+            TraceEvent::BatchCommitted {
+                p: 1,
+                slot: 9,
+                size: 4,
+                digest: 77,
+            },
             TraceEvent::Executed {
                 p: 1,
                 slot: 9,
@@ -795,6 +860,106 @@ mod tests {
         );
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0].desc.contains("slot 3"), "{report}");
+        assert_eq!(report.slots_checked, 1);
+    }
+
+    #[test]
+    fn batched_slot_sequences_agree() {
+        // Two replicas each execute the same two-request batch in slot 5:
+        // multiple executed events per slot are fine when order matches.
+        let records = vec![
+            rec(0, 10, TraceEvent::Executed { p: 1, slot: 5, digest: 0xA1 }),
+            rec(1, 11, TraceEvent::Executed { p: 1, slot: 5, digest: 0xA2 }),
+            rec(2, 20, TraceEvent::Executed { p: 2, slot: 5, digest: 0xA1 }),
+            rec(3, 21, TraceEvent::Executed { p: 2, slot: 5, digest: 0xA2 }),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.slots_checked, 1);
+    }
+
+    #[test]
+    fn batched_slot_order_mismatch_is_flagged() {
+        // Same requests, different order at the second replica.
+        let records = vec![
+            rec(0, 10, TraceEvent::Executed { p: 1, slot: 5, digest: 0xA1 }),
+            rec(1, 11, TraceEvent::Executed { p: 1, slot: 5, digest: 0xA2 }),
+            rec(2, 20, TraceEvent::Executed { p: 2, slot: 5, digest: 0xA2 }),
+            rec(3, 21, TraceEvent::Executed { p: 2, slot: 5, digest: 0xA1 }),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert_eq!(report.violations.len(), 2, "{report}");
+        assert!(report.violations[0].desc.contains("position 0"), "{report}");
+    }
+
+    #[test]
+    fn batched_slot_extra_request_is_flagged() {
+        // The second replica executes one more request in the slot than
+        // the reference replica did.
+        let records = vec![
+            rec(0, 10, TraceEvent::Executed { p: 1, slot: 5, digest: 0xA1 }),
+            rec(1, 20, TraceEvent::Executed { p: 2, slot: 5, digest: 0xA1 }),
+            rec(2, 21, TraceEvent::Executed { p: 2, slot: 5, digest: 0xA9 }),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert_eq!(report.violations.len(), 1, "{report}");
+        assert!(report.violations[0].desc.contains("only 1 request"), "{report}");
+    }
+
+    #[test]
+    fn batch_digest_disagreement_is_flagged() {
+        let records = vec![
+            rec(
+                0,
+                10,
+                TraceEvent::BatchCommitted {
+                    p: 1,
+                    slot: 2,
+                    size: 3,
+                    digest: 0xC0,
+                },
+            ),
+            rec(
+                1,
+                20,
+                TraceEvent::BatchCommitted {
+                    p: 2,
+                    slot: 2,
+                    size: 3,
+                    digest: 0xC1,
+                },
+            ),
+        ];
+        let report = analyze(
+            &records,
+            &ReplayConfig {
+                f: 1,
+                stable_from_micros: 0,
+            },
+        );
+        assert_eq!(report.violations.len(), 1, "{report}");
+        assert!(
+            report.violations[0].desc.contains("batch agreement"),
+            "{report}"
+        );
         assert_eq!(report.slots_checked, 1);
     }
 

@@ -97,6 +97,14 @@ pub struct SimConfig {
     /// Enforce per-link FIFO delivery (Section VIII of the paper assumes
     /// FIFO order between correct processes).
     pub fifo: bool,
+    /// Per-message egress serialization cost: a sender's NIC transmits one
+    /// message every `tx_cost`, so a burst of sends queues at the sender
+    /// before the link delay even starts. `ZERO` (the default) disables
+    /// the model entirely — no state is consulted and no RNG is drawn, so
+    /// existing seeded runs are unchanged. A non-zero cost makes message
+    /// *count* (not just latency) visible in simulated time, which is what
+    /// batching experiments measure.
+    pub tx_cost: SimDuration,
     /// Safety valve: `run_to_quiescence` panics after this many steps.
     pub max_steps: u64,
 }
@@ -109,6 +117,7 @@ impl SimConfig {
             seed,
             delay: DelayModel::default(),
             fifo: true,
+            tx_cost: SimDuration::ZERO,
             max_steps: 20_000_000,
         }
     }
@@ -124,6 +133,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_fifo(mut self, fifo: bool) -> Self {
         self.fifo = fifo;
+        self
+    }
+
+    /// Sets the per-message egress serialization cost ([`SimConfig::tx_cost`]).
+    #[must_use]
+    pub fn with_tx_cost(mut self, tx_cost: SimDuration) -> Self {
+        self.tx_cost = tx_cost;
         self
     }
 }
@@ -154,7 +170,7 @@ pub struct LinkState {
 }
 
 /// Aggregate network statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages handed to the network by actors.
     pub messages_sent: u64,
@@ -243,6 +259,9 @@ pub struct Simulation<M, A> {
     pending_faults: VecDeque<(SimTime, FaultEvent)>,
     links: Vec<LinkState>,
     fifo_last: Vec<SimTime>,
+    /// Per-process earliest time the NIC is free to transmit the next
+    /// message; only consulted when `cfg.tx_cost > ZERO`.
+    next_free_tx: Vec<SimTime>,
     queue: BinaryHeap<QueuedEvent<M>>,
     seq: u64,
     now: SimTime,
@@ -278,6 +297,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
             pending_faults: VecDeque::new(),
             links: (0..k * k).map(|_| LinkState::default()).collect(),
             fifo_last: vec![SimTime::ZERO; k * k],
+            next_free_tx: vec![SimTime::ZERO; k],
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
@@ -754,31 +774,47 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         // same random stream as before the fault layer existed.
         let duplicate = link.dup_prob > 0.0 && self.rng.random::<f64>() < link.dup_prob;
         let reorder = link.reorder_prob > 0.0 && self.rng.random::<f64>() < link.reorder_prob;
+        // Egress serialization: with a non-zero tx_cost the sender's NIC
+        // departs one message every tx_cost, so a burst queues at the
+        // sender. The zero-cost default takes the `self.now` branch with no
+        // state update and no RNG draw, leaving seeded runs unchanged.
+        let depart = if self.cfg.tx_cost > SimDuration::ZERO {
+            let free = self.next_free_tx[from.index()].max(self.now);
+            let depart = free + self.cfg.tx_cost;
+            self.next_free_tx[from.index()] = depart;
+            depart
+        } else {
+            self.now
+        };
         if duplicate {
             // The duplicate takes an independent delay and respects the
-            // FIFO floor, so it trails the original or later traffic.
+            // FIFO floor, so it trails the original or later traffic. It is
+            // created by the network, not the sender, so it costs no extra
+            // egress serialization.
             self.stats.messages_duplicated += 1;
             self.trace.emit(|| TraceEvent::MsgDuplicated {
                 from: from.0,
                 to: to.0,
             });
-            self.enqueue_delivery(idx, from, to, false, msg.clone());
+            self.enqueue_delivery(idx, from, to, depart, false, msg.clone());
         }
-        self.enqueue_delivery(idx, from, to, reorder, msg);
+        self.enqueue_delivery(idx, from, to, depart, reorder, msg);
     }
 
-    /// Samples a delay for one delivery on link `idx` and enqueues it.
+    /// Samples a delay for one delivery on link `idx` departing the sender
+    /// at `depart` and enqueues it.
     fn enqueue_delivery(
         &mut self,
         idx: usize,
         from: ProcessId,
         to: ProcessId,
+        depart: SimTime,
         reorder: bool,
         msg: M,
     ) {
         let link = &self.links[idx];
         let model = link.delay_override.unwrap_or(self.cfg.delay);
-        let mut deliver_at = self.now + model.sample(&mut self.rng, self.now) + link.extra_delay;
+        let mut deliver_at = depart + model.sample(&mut self.rng, self.now) + link.extra_delay;
         if link.jitter > SimDuration::ZERO {
             deliver_at = deliver_at
                 + SimDuration::micros(self.rng.random_range(0..=link.jitter.as_micros()));
@@ -894,6 +930,107 @@ mod tests {
         assert_eq!(sim.actor(ProcessId(1)).pongs, 1);
         assert_eq!(sim.stats().messages_sent, 3);
         assert_eq!(sim.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn net_stats_empty_merge_is_identity() {
+        let mut sim = two(1);
+        sim.run_to_quiescence();
+        let base = sim.stats().clone();
+        // Folding a default (all-zero, no kinds) stats is a no-op …
+        let mut merged = base.clone();
+        merged.merge(&NetStats::default());
+        assert_eq!(merged, base);
+        // … and folding into an empty accumulator reproduces the input.
+        let mut acc = NetStats::default();
+        acc.merge(&base);
+        assert_eq!(acc, base);
+    }
+
+    #[test]
+    fn net_stats_merge_sums_fields_and_kinds() {
+        let mut a = NetStats {
+            messages_sent: 3,
+            messages_delivered: 2,
+            messages_dropped: 1,
+            timers_fired: 4,
+            restarts: 1,
+            ..NetStats::default()
+        };
+        a.by_kind.insert("prepare", 2);
+        a.by_kind.insert("commit", 1);
+        let mut b = NetStats {
+            messages_sent: 5,
+            messages_duplicated: 2,
+            faults_injected: 3,
+            ..NetStats::default()
+        };
+        b.by_kind.insert("prepare", 4);
+        b.by_kind.insert("heartbeat", 7);
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 8);
+        assert_eq!(a.messages_delivered, 2);
+        assert_eq!(a.messages_dropped, 1);
+        assert_eq!(a.timers_fired, 4);
+        assert_eq!(a.messages_duplicated, 2);
+        assert_eq!(a.restarts, 1);
+        assert_eq!(a.faults_injected, 3);
+        assert_eq!(a.by_kind["prepare"], 6, "shared kinds sum entry-wise");
+        assert_eq!(a.by_kind["commit"], 1);
+        assert_eq!(a.by_kind["heartbeat"], 7, "unseen kinds are adopted");
+    }
+
+    #[test]
+    fn zero_tx_cost_leaves_seeded_runs_unchanged() {
+        // `with_tx_cost(ZERO)` must be indistinguishable from not setting
+        // it at all: same deliveries, same stats.
+        for seed in [1, 9, 42] {
+            let mut plain = two(seed);
+            plain.run_to_quiescence();
+            let mut zero = Simulation::new(
+                SimConfig::new(2, seed).with_tx_cost(SimDuration::ZERO),
+                vec![Counter::new(0), Counter::new(0)],
+            );
+            zero.run_to_quiescence();
+            assert_eq!(plain.stats(), zero.stats(), "seed {seed}");
+            assert_eq!(plain.now(), zero.now(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tx_cost_serializes_a_send_burst() {
+        // With a constant link delay and a 100µs egress cost, the two
+        // pings sent in the same step depart 100µs apart, so the second
+        // arrives exactly tx_cost after the first.
+        struct Recorder {
+            arrivals: Vec<SimTime>,
+        }
+        impl Actor<Msg> for Recorder {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                if ctx.me() == ProcessId(1) {
+                    ctx.send(ProcessId(2), Msg::Ping);
+                    ctx.send(ProcessId(2), Msg::Ping);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {
+                self.arrivals.push(ctx.now());
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: TimerId) {}
+        }
+        let cfg = SimConfig::new(2, 5)
+            .with_delay(DelayModel::Constant(SimDuration::micros(50)))
+            .with_tx_cost(SimDuration::micros(100));
+        let mut sim = Simulation::new(
+            cfg,
+            vec![Recorder { arrivals: vec![] }, Recorder { arrivals: vec![] }],
+        );
+        sim.run_to_quiescence();
+        let arrivals = &sim.actor(ProcessId(2)).arrivals;
+        assert_eq!(arrivals.len(), 2);
+        // First departs at 100µs (NIC free at t=0 + cost), second at 200µs;
+        // both then take the constant 50µs link delay.
+        assert_eq!(arrivals[0], SimTime::from_micros(150));
+        assert_eq!(arrivals[1], SimTime::from_micros(250));
     }
 
     #[test]

@@ -57,6 +57,15 @@ impl Encode for Digest {
     }
 }
 
+impl crate::encode::Decode for Digest {
+    fn decode(r: &mut crate::encode::Reader<'_>) -> Result<Self, crate::encode::DecodeError> {
+        let bytes = r.take(32)?;
+        let mut d = [0u8; 32];
+        d.copy_from_slice(bytes);
+        Ok(Digest(d))
+    }
+}
+
 /// Computes the SHA-256 digest of `data` in one shot.
 pub fn sha256(data: &[u8]) -> Digest {
     let mut h = Sha256::new();

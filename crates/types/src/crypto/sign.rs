@@ -5,7 +5,7 @@
 use std::error::Error;
 use std::fmt;
 
-use crate::encode::{encode_to_vec, Encode};
+use crate::encode::{encode_to_vec, Decode, DecodeError, Encode, Reader};
 use crate::id::{ClusterConfig, ProcessId};
 
 use super::sha256::{Digest, Sha256};
@@ -23,6 +23,12 @@ impl fmt::Debug for SigTag {
 impl Encode for SigTag {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.0.encode(buf);
+    }
+}
+
+impl Decode for SigTag {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SigTag(Digest::decode(r)?))
     }
 }
 
@@ -44,6 +50,16 @@ impl<T: Encode> Encode for Signed<T> {
         self.payload.encode(buf);
         self.signer.encode(buf);
         self.tag.encode(buf);
+    }
+}
+
+impl<T: Decode> Decode for Signed<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Signed {
+            payload: T::decode(r)?,
+            signer: ProcessId::decode(r)?,
+            tag: SigTag::decode(r)?,
+        })
     }
 }
 

@@ -7,6 +7,13 @@
 //! simple and hand-rolled: fixed-width little-endian integers with
 //! length-prefixed sequences, written into a [`bytes::BufMut`].
 //!
+//! [`Decode`] is the inverse: it reads a value back out of a byte slice and
+//! rejects malformed input — truncated integers, length prefixes that claim
+//! more elements than the remaining bytes could hold, invalid UTF-8 —
+//! instead of panicking or silently mis-framing. Every `Decode` impl is the
+//! exact inverse of the matching `Encode` impl, a property the wire
+//! round-trip tests in `qsel-xpaxos` exercise over arbitrary payloads.
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +52,120 @@ pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     value.encode(&mut buf);
     buf
+}
+
+/// Decoding failure: the input is not a canonical encoding of the target
+/// type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix claims more elements than the remaining input could
+    /// possibly hold (each element takes at least one byte), so the frame
+    /// is corrupt — rejected before any allocation proportional to the
+    /// claimed length.
+    BadLength {
+        /// Elements (or bytes) the prefix claims.
+        claimed: u64,
+        /// Bytes actually remaining in the input.
+        remaining: u64,
+    },
+    /// An enum discriminant byte is not a known variant.
+    BadTag(u8),
+    /// A boolean byte was neither 0 nor 1.
+    BadBool(u8),
+    /// A length-prefixed string is not valid UTF-8.
+    BadUtf8,
+    /// The value decoded, but this many input bytes were left over
+    /// (returned only by [`decode_from_slice`], which demands an exact
+    /// frame).
+    TrailingBytes(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "input truncated"),
+            DecodeError::BadLength { claimed, remaining } => write!(
+                f,
+                "length prefix claims {claimed} elements but only {remaining} bytes remain"
+            ),
+            DecodeError::BadTag(t) => write!(f, "unknown variant tag {t}"),
+            DecodeError::BadBool(b) => write!(f, "invalid boolean byte {b}"),
+            DecodeError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over an input byte slice, consumed left to right by [`Decode`]
+/// implementations.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u64` length prefix and checks it against the remaining
+    /// input, given that each of the claimed elements occupies at least
+    /// `min_elem_size` bytes. This is the guard that turns a corrupt
+    /// length prefix into an error instead of a huge allocation or a
+    /// mis-framed tail.
+    pub fn length_prefix(&mut self, min_elem_size: usize) -> Result<usize, DecodeError> {
+        let claimed = u64::decode(self)?;
+        let remaining = self.remaining() as u64;
+        let need = claimed.checked_mul(min_elem_size.max(1) as u64);
+        match need {
+            Some(n) if n <= remaining => Ok(claimed as usize),
+            _ => Err(DecodeError::BadLength { claimed, remaining }),
+        }
+    }
+}
+
+/// A type that can be read back out of its canonical [`Encode`] form.
+///
+/// `decode` must be the exact inverse of `encode`: for every value `v`,
+/// `decode(encode(v)) == v`, and `decode` consumes exactly the bytes
+/// `encode` produced.
+pub trait Decode: Sized {
+    /// Reads one value from `r`, consuming exactly its encoding.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Decodes a value that must occupy the whole of `bytes`.
+///
+/// # Errors
+///
+/// Propagates the inner [`DecodeError`], or returns
+/// [`DecodeError::TrailingBytes`] if input remains after the value.
+pub fn decode_from_slice<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining() as u64));
+    }
+    Ok(value)
 }
 
 impl Encode for u8 {
@@ -125,6 +246,84 @@ impl Encode for String {
     }
 }
 
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let b = r.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let b = r.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(DecodeError::BadBool(b)),
+        }
+    }
+}
+
+impl Decode for ProcessId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ProcessId(u32::decode(r)?))
+    }
+}
+
+impl Decode for Epoch {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Epoch(u64::decode(r)?))
+    }
+}
+
+impl Decode for ProcessSet {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let members = Vec::<ProcessId>::decode(r)?;
+        Ok(members.into_iter().collect())
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        // Every element encoding is at least one byte, which is enough to
+        // bound the claimed length by the remaining input.
+        let len = r.length_prefix(1)?;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.length_prefix(1)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +364,68 @@ mod tests {
     fn tuples_concatenate() {
         let bytes = encode_to_vec(&(1u32, 2u64));
         assert_eq!(bytes.len(), 12);
+    }
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_to_vec(&value);
+        assert_eq!(decode_from_slice::<T>(&bytes), Ok(value));
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        roundtrip(0u8);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(ProcessId(7));
+        roundtrip(Epoch(9));
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip((ProcessId(1), 99u64));
+        roundtrip("héllo".to_string());
+        let s: ProcessSet = [3, 1, 4].into_iter().map(ProcessId).collect();
+        roundtrip(s);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode_to_vec(&vec![1u32, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_from_slice::<Vec<u32>>(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        // A prefix claiming u64::MAX elements must fail fast on the length
+        // check, not attempt a huge Vec::with_capacity.
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        assert!(matches!(
+            decode_from_slice::<Vec<u64>>(&bytes),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&7u32);
+        bytes.push(0);
+        assert_eq!(
+            decode_from_slice::<u32>(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_rejected() {
+        assert_eq!(decode_from_slice::<bool>(&[2]), Err(DecodeError::BadBool(2)));
+        let mut bytes = Vec::new();
+        2u64.encode(&mut bytes);
+        bytes.extend([0xff, 0xfe]);
+        assert_eq!(decode_from_slice::<String>(&bytes), Err(DecodeError::BadUtf8));
     }
 }

@@ -6,7 +6,7 @@ use qsel_types::crypto::{Keychain, Signer};
 use qsel_types::{ClusterConfig, ProcessId};
 
 use crate::client::Client;
-use crate::messages::{PreparePayload, Request, XpMsg};
+use crate::messages::{Batch, PreparePayload, Request, XpMsg};
 use crate::replica::{Replica, ReplicaConfig};
 
 /// A participant of an XPaxos simulation.
@@ -111,11 +111,11 @@ impl Equivocator {
             PreparePayload {
                 view: 0,
                 slot: 0,
-                req: Request {
+                batch: Batch::single(Request {
                     client: req.client,
                     op: req.op,
                     payload,
-                },
+                }),
             }
         };
         let members: Vec<ProcessId> = self
@@ -141,6 +141,7 @@ pub struct ClusterBuilder {
     ops_per_client: u64,
     seed: u64,
     retry: SimDuration,
+    tx_cost: SimDuration,
     trace: TraceSink,
 }
 
@@ -154,6 +155,7 @@ impl ClusterBuilder {
             ops_per_client: 10,
             seed,
             retry: SimDuration::millis(20),
+            tx_cost: SimDuration::ZERO,
             trace: TraceSink::disabled(),
         }
     }
@@ -177,6 +179,15 @@ impl ClusterBuilder {
     #[must_use]
     pub fn retry(mut self, retry: SimDuration) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the network's per-message egress serialization cost
+    /// ([`qsel_simnet::SimConfig::tx_cost`]); the `ZERO` default leaves
+    /// the network a pure-delay model.
+    #[must_use]
+    pub fn tx_cost(mut self, tx_cost: SimDuration) -> Self {
+        self.tx_cost = tx_cost;
         self
     }
 
@@ -221,7 +232,10 @@ impl ClusterBuilder {
             client.set_trace_sink(self.trace.clone());
             actors.push(XpActor::Client(client));
         }
-        let mut sim = Simulation::new(SimConfig::new(total, self.seed), actors);
+        let mut sim = Simulation::new(
+            SimConfig::new(total, self.seed).with_tx_cost(self.tx_cost),
+            actors,
+        );
         sim.set_classifier(|m: &XpMsg| m.kind());
         sim.set_trace_sink(self.trace);
         sim
@@ -234,23 +248,31 @@ impl ClusterBuilder {
 }
 
 /// Asserts the fundamental safety property across all correct replicas:
-/// no two replicas executed different requests at the same slot.
+/// no two replicas executed a different request *sequence* at the same
+/// slot (a batched slot executes several requests, in batch order).
 ///
 /// # Panics
 ///
 /// Panics with a description of the violation, if any.
 pub fn assert_safety(sim: &Simulation<XpMsg, XpActor>) {
-    let mut reference: std::collections::HashMap<u64, &Request> = std::collections::HashMap::new();
+    let mut reference: std::collections::HashMap<u64, Vec<&Request>> =
+        std::collections::HashMap::new();
     for id in sim.ids().collect::<Vec<_>>() {
         if let Some(r) = sim.actor(id).replica() {
+            // Group this replica's executions by slot, preserving order.
+            let mut per_slot: std::collections::HashMap<u64, Vec<&Request>> =
+                std::collections::HashMap::new();
             for (slot, req) in &r.log().executed {
-                match reference.get(slot) {
+                per_slot.entry(*slot).or_default().push(req);
+            }
+            for (slot, reqs) in per_slot {
+                match reference.get(&slot) {
                     None => {
-                        reference.insert(*slot, req);
+                        reference.insert(slot, reqs);
                     }
                     Some(existing) => assert_eq!(
-                        **existing, *req,
-                        "safety violation at slot {slot}: {existing:?} vs {req:?} (replica {id})"
+                        *existing, reqs,
+                        "safety violation at slot {slot}: {existing:?} vs {reqs:?} (replica {id})"
                     ),
                 }
             }

@@ -7,6 +7,13 @@ use qsel_types::{ProcessId, ProcessSet};
 
 use crate::messages::{Request, SignedCommit, SignedPrepare};
 
+/// Inserts the dedup assignment of every request in `prepare`'s batch.
+fn assign_batch(assigned: &mut HashMap<(ProcessId, u64), u64>, prepare: &SignedPrepare) {
+    for req in &prepare.payload.batch.reqs {
+        assigned.insert((req.client, req.op), prepare.payload.slot);
+    }
+}
+
 /// Per-slot state.
 #[derive(Clone, Debug)]
 pub struct Slot {
@@ -69,8 +76,7 @@ impl Log {
         let slot_no = prepare.payload.slot;
         match self.slots.get_mut(&slot_no) {
             None => {
-                self.assigned
-                    .insert((prepare.payload.req.client, prepare.payload.req.op), slot_no);
+                assign_batch(&mut self.assigned, &prepare);
                 self.slots.insert(slot_no, Slot::new(prepare));
                 true
             }
@@ -81,8 +87,7 @@ impl Log {
                     && !existing.decided
                 {
                     // Re-proposal in a later view supersedes.
-                    self.assigned
-                        .insert((prepare.payload.req.client, prepare.payload.req.op), slot_no);
+                    assign_batch(&mut self.assigned, &prepare);
                     *existing = Slot::new(prepare);
                     true
                 } else {
@@ -110,12 +115,12 @@ impl Log {
     }
 
     /// Records a signed COMMIT. Returns `true` if its digest matches the
-    /// accepted prepare's request digest.
+    /// accepted prepare's batch digest.
     pub fn record_commit(&mut self, slot: u64, commit: SignedCommit) -> bool {
         let Some(s) = self.slots.get_mut(&slot) else {
             return false;
         };
-        let matches = s.prepare.payload.req.digest() == commit.payload.digest;
+        let matches = s.prepare.payload.batch.digest() == commit.payload.digest;
         s.commits.insert(commit.signer, commit);
         matches
     }
@@ -136,7 +141,7 @@ impl Log {
         if s.decided {
             return false;
         }
-        let want = s.prepare.payload.req.digest();
+        let want = s.prepare.payload.batch.digest();
         let all_in = quorum.iter().filter(|p| *p != leader).all(|p| {
             if p == me {
                 s.committed_by_us
@@ -153,27 +158,38 @@ impl Log {
     }
 
     /// Executes decided slots in order from the cursor; returns the
-    /// executed (slot, request) pairs. A request already executed at an
-    /// earlier slot is skipped as a no-op (its slot still advances the
-    /// cursor).
+    /// executed (slot, request) pairs. A decided slot's batch executes
+    /// request by request in batch order; a request already executed at an
+    /// earlier slot (or earlier in the same batch) is skipped as a no-op.
+    /// The slot advances the cursor either way.
     pub fn execute_ready(&mut self) -> Vec<(u64, Request)> {
         let mut out = Vec::new();
         while let Some(s) = self.slots.get(&self.exec_cursor) {
             if !s.decided {
                 break;
             }
-            let req = s.prepare.payload.req.clone();
-            if self.executed_ops.insert((req.client, req.op)) {
-                self.state = self
-                    .state
-                    .wrapping_mul(1099511628211)
-                    .wrapping_add(req.payload);
-                out.push((self.exec_cursor, req.clone()));
-                self.executed.push((self.exec_cursor, req));
+            for req in s.prepare.payload.batch.reqs.clone() {
+                if self.executed_ops.insert((req.client, req.op)) {
+                    self.state = self
+                        .state
+                        .wrapping_mul(1099511628211)
+                        .wrapping_add(req.payload);
+                    out.push((self.exec_cursor, req.clone()));
+                    self.executed.push((self.exec_cursor, req));
+                }
             }
             self.exec_cursor += 1;
         }
         out
+    }
+
+    /// Slots at or above `from` that hold a prepare but are not yet
+    /// decided — the leader's in-flight pipeline occupancy.
+    pub fn undecided_from(&self, from: u64) -> usize {
+        self.slots
+            .range(from..)
+            .filter(|(_, s)| !s.decided)
+            .count()
     }
 
     /// Prepared entries at or above `from_slot` (for VIEW-CHANGE
@@ -211,10 +227,11 @@ impl Log {
     pub fn adopt_decided(&mut self, prepare: SignedPrepare, commits: Vec<SignedCommit>) -> bool {
         let slot_no = prepare.payload.slot;
         match self.slots.get_mut(&slot_no) {
-            Some(existing) if existing.decided => existing.prepare.payload.req == prepare.payload.req,
+            Some(existing) if existing.decided => {
+                existing.prepare.payload.batch == prepare.payload.batch
+            }
             existing => {
-                self.assigned
-                    .insert((prepare.payload.req.client, prepare.payload.req.op), slot_no);
+                assign_batch(&mut self.assigned, &prepare);
                 let mut slot = Slot::new(prepare);
                 slot.decided = true;
                 slot.commits = commits.into_iter().map(|c| (c.signer, c)).collect();
@@ -246,7 +263,7 @@ mod tests {
     use qsel_types::crypto::Keychain;
     use qsel_types::ClusterConfig;
 
-    use crate::messages::PreparePayload;
+    use crate::messages::{Batch, PreparePayload};
 
     fn chain() -> Keychain {
         Keychain::new(&ClusterConfig::new(4, 1).unwrap(), 1)
@@ -256,11 +273,25 @@ mod tests {
         chain.signer(ProcessId(leader)).sign(PreparePayload {
             view,
             slot,
-            req: Request {
+            batch: Batch::single(Request {
                 client: ProcessId(9),
                 op: slot + 1,
                 payload,
-            },
+            }),
+        })
+    }
+
+    fn prep_batch(
+        chain: &Keychain,
+        leader: u32,
+        view: u64,
+        slot: u64,
+        reqs: Vec<Request>,
+    ) -> SignedPrepare {
+        chain.signer(ProcessId(leader)).sign(PreparePayload {
+            view,
+            slot,
+            batch: Batch::new(reqs),
         })
     }
 
@@ -287,7 +318,7 @@ mod tests {
         let p = prep(&c, 1, 0, 0, 5);
         assert!(log.accept_prepare(p.clone()));
         assert!(log.accept_prepare(p.clone())); // idempotent
-        assert_eq!(log.slot_of(&p.payload.req), Some(0));
+        assert_eq!(log.slot_of(&p.payload.batch.reqs[0]), Some(0));
         // Conflicting prepare in the same view is rejected.
         let conflicting = prep(&c, 1, 0, 0, 6);
         assert!(!log.accept_prepare(conflicting));
@@ -308,7 +339,7 @@ mod tests {
         let c = chain();
         let mut log = Log::new();
         let p = prep(&c, 1, 0, 0, 5);
-        let digest = p.payload.req.digest();
+        let digest = p.payload.batch.digest();
         log.accept_prepare(p);
         let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
         let me = ProcessId(2);
@@ -328,7 +359,7 @@ mod tests {
         let c = chain();
         let mut log = Log::new();
         let p = prep(&c, 1, 0, 0, 5);
-        let wrong = prep(&c, 1, 0, 1, 6).payload.req.digest();
+        let wrong = prep(&c, 1, 0, 1, 6).payload.batch.digest();
         log.accept_prepare(p);
         log.mark_committed_by_us(0);
         let p0 = log.prepare_at(0).unwrap().clone();
@@ -346,7 +377,7 @@ mod tests {
             log.mark_committed_by_us(slot);
         }
         let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
-        let digest_of = |log: &Log, s: u64| log.prepare_at(s).unwrap().payload.req.digest();
+        let digest_of = |log: &Log, s: u64| log.prepare_at(s).unwrap().payload.batch.digest();
         // Decide slots 0 and 2 (gap at 1).
         for s in [0u64, 2] {
             let d = digest_of(&log, s);
@@ -379,6 +410,56 @@ mod tests {
     }
 
     #[test]
+    fn batched_slot_executes_requests_in_order_exactly_once() {
+        let c = chain();
+        let mut log = Log::new();
+        let r = |op: u64| Request {
+            client: ProcessId(9),
+            op,
+            payload: op * 10,
+        };
+        // Slot 0 carries [op1, op2]; slot 1 re-proposes op2 (as after a
+        // view change) alongside op3 — op2 must execute only once.
+        let p0 = prep_batch(&c, 1, 0, 0, vec![r(1), r(2)]);
+        let p1 = prep_batch(&c, 1, 0, 1, vec![r(2), r(3)]);
+        let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
+        for p in [p0, p1] {
+            let slot = p.payload.slot;
+            let d = p.payload.batch.digest();
+            log.accept_prepare(p.clone());
+            log.mark_committed_by_us(slot);
+            log.record_commit(slot, commit_for(&c, 3, &p, d));
+            assert!(log.try_decide(slot, &quorum, ProcessId(1), ProcessId(2)));
+        }
+        let executed = log.execute_ready();
+        assert_eq!(
+            executed.iter().map(|(s, q)| (*s, q.op)).collect::<Vec<_>>(),
+            vec![(0, 1), (0, 2), (1, 3)],
+            "batch order within a slot, dedup across slots"
+        );
+        assert_eq!(log.exec_cursor, 2);
+        assert_eq!(log.undecided_from(0), 0);
+    }
+
+    #[test]
+    fn undecided_from_counts_in_flight_slots() {
+        let c = chain();
+        let mut log = Log::new();
+        for slot in 0..3u64 {
+            log.accept_prepare(prep(&c, 1, 0, slot, slot));
+        }
+        assert_eq!(log.undecided_from(0), 3);
+        assert_eq!(log.undecided_from(2), 1);
+        let quorum: ProcessSet = [1, 2, 3].into_iter().map(ProcessId).collect();
+        let p = log.prepare_at(0).unwrap().clone();
+        let d = p.payload.batch.digest();
+        log.mark_committed_by_us(0);
+        log.record_commit(0, commit_for(&c, 3, &p, d));
+        log.try_decide(0, &quorum, ProcessId(1), ProcessId(2));
+        assert_eq!(log.undecided_from(0), 2);
+    }
+
+    #[test]
     fn deterministic_state_fold() {
         let c = chain();
         let run = || {
@@ -388,7 +469,7 @@ mod tests {
                 log.accept_prepare(prep(&c, 1, 0, slot, slot * 3));
                 log.mark_committed_by_us(slot);
                 let pr = log.prepare_at(slot).unwrap().clone();
-                let d = pr.payload.req.digest();
+                let d = pr.payload.batch.digest();
                 log.record_commit(slot, commit_for(&c, 3, &pr, d));
                 log.try_decide(slot, &quorum, ProcessId(1), ProcessId(2));
             }

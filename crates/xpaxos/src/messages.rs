@@ -2,8 +2,18 @@
 
 use qsel::messages::SignedUpdate;
 use qsel_types::crypto::{sha256, Digest};
-use qsel_types::encode::{encode_to_vec, Encode};
+use qsel_types::encode::{encode_to_vec, Decode, DecodeError, Encode, Reader};
 use qsel_types::{ProcessId, Signed};
+
+/// Consumes a 4-byte domain-separation tag, rejecting a mismatch.
+fn expect_tag(r: &mut Reader<'_>, tag: &[u8; 4]) -> Result<(), DecodeError> {
+    let got = r.take(4)?;
+    if got == tag {
+        Ok(())
+    } else {
+        Err(DecodeError::BadTag(got[0]))
+    }
+}
 
 /// A client request. Clients are simulation actors with ids above the
 /// replica range; requests carry a per-client sequence number for
@@ -34,7 +44,79 @@ impl Encode for Request {
     }
 }
 
-/// `PREPARE` payload: the leader proposes `req` at `slot` in `view`
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"REQS")?;
+        Ok(Request {
+            client: ProcessId::decode(r)?,
+            op: u64::decode(r)?,
+            payload: u64::decode(r)?,
+        })
+    }
+}
+
+/// An ordered batch of client requests agreed on as one slot. The leader
+/// closes batches under its `BatchPolicy`; every replica executes a decided
+/// batch's requests in batch order, so a batch is the unit of agreement
+/// while the request stays the unit of execution (and of the `Executed`
+/// trace event).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Batch {
+    /// The batched requests, in proposal order.
+    pub reqs: Vec<Request>,
+}
+
+impl Batch {
+    /// A batch over `reqs` in the given order.
+    pub fn new(reqs: Vec<Request>) -> Self {
+        Batch { reqs }
+    }
+
+    /// The single-request batch the passthrough (default) policy proposes.
+    pub fn single(req: Request) -> Self {
+        Batch { reqs: vec![req] }
+    }
+
+    /// Digest of the whole batch (carried in COMMIT messages, §V-A). The
+    /// encoding is length-prefixed, so a batch of one request and the bare
+    /// request digest differently, and no two distinct batches collide.
+    pub fn digest(&self) -> Digest {
+        sha256(&encode_to_vec(self))
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Whether the batch carries no requests.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// Whether some request in the batch is `(client, op)`.
+    pub fn contains(&self, client: ProcessId, op: u64) -> bool {
+        self.reqs.iter().any(|r| r.client == client && r.op == op)
+    }
+}
+
+impl Encode for Batch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"BTCH");
+        self.reqs.encode(buf);
+    }
+}
+
+impl Decode for Batch {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"BTCH")?;
+        Ok(Batch {
+            reqs: Vec::decode(r)?,
+        })
+    }
+}
+
+/// `PREPARE` payload: the leader proposes `batch` at `slot` in `view`
 /// (§V-A step 1).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PreparePayload {
@@ -42,8 +124,8 @@ pub struct PreparePayload {
     pub view: u64,
     /// The log slot.
     pub slot: u64,
-    /// The client request.
-    pub req: Request,
+    /// The proposed batch of client requests.
+    pub batch: Batch,
 }
 
 impl Encode for PreparePayload {
@@ -51,7 +133,18 @@ impl Encode for PreparePayload {
         buf.extend_from_slice(b"PREP");
         self.view.encode(buf);
         self.slot.encode(buf);
-        self.req.encode(buf);
+        self.batch.encode(buf);
+    }
+}
+
+impl Decode for PreparePayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"PREP")?;
+        Ok(PreparePayload {
+            view: u64::decode(r)?,
+            slot: u64::decode(r)?,
+            batch: Batch::decode(r)?,
+        })
     }
 }
 
@@ -67,7 +160,7 @@ pub struct CommitPayload {
     pub view: u64,
     /// Slot of the prepare being committed.
     pub slot: u64,
-    /// Digest of the client request.
+    /// Digest of the proposed batch.
     pub digest: Digest,
     /// The leader's PREPARE message (paper §V-A: "we therefore require
     /// that a COMMIT includes the PREPARE message from the leader").
@@ -81,6 +174,18 @@ impl Encode for CommitPayload {
         self.slot.encode(buf);
         self.digest.encode(buf);
         self.prepare.encode(buf);
+    }
+}
+
+impl Decode for CommitPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"CMMT")?;
+        Ok(CommitPayload {
+            view: u64::decode(r)?,
+            slot: u64::decode(r)?,
+            digest: Digest::decode(r)?,
+            prepare: SignedPrepare::decode(r)?,
+        })
     }
 }
 
@@ -111,6 +216,17 @@ impl Encode for ViewChangePayload {
     }
 }
 
+impl Decode for ViewChangePayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"VCHG")?;
+        Ok(ViewChangePayload {
+            target_view: u64::decode(r)?,
+            watermark: u64::decode(r)?,
+            prepared: Vec::decode(r)?,
+        })
+    }
+}
+
 /// A signed VIEW-CHANGE.
 pub type SignedViewChange = Signed<ViewChangePayload>;
 
@@ -138,6 +254,17 @@ impl Encode for NewViewPayload {
     }
 }
 
+impl Decode for NewViewPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"NVEW")?;
+        Ok(NewViewPayload {
+            view: u64::decode(r)?,
+            base: u64::decode(r)?,
+            reproposals: Vec::decode(r)?,
+        })
+    }
+}
+
 /// A signed NEW-VIEW.
 pub type SignedNewView = Signed<NewViewPayload>;
 
@@ -150,6 +277,24 @@ pub struct Reply {
     pub op: u64,
     /// Execution result (the slot, doubling as the state-machine output).
     pub result: u64,
+}
+
+impl Encode for Reply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.view.encode(buf);
+        self.op.encode(buf);
+        self.result.encode(buf);
+    }
+}
+
+impl Decode for Reply {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Reply {
+            view: u64::decode(r)?,
+            op: u64::decode(r)?,
+            result: u64::decode(r)?,
+        })
+    }
 }
 
 /// A liveness heartbeat exchanged among active-quorum members. The paper's
@@ -167,6 +312,15 @@ impl Encode for HeartbeatPayload {
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(b"XHRT");
         self.seq.encode(buf);
+    }
+}
+
+impl Decode for HeartbeatPayload {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"XHRT")?;
+        Ok(HeartbeatPayload {
+            seq: u64::decode(r)?,
+        })
     }
 }
 
@@ -193,8 +347,18 @@ impl Encode for DecidedEntry {
     }
 }
 
+impl Decode for DecidedEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"DCRT")?;
+        Ok(DecidedEntry {
+            prepare: SignedPrepare::decode(r)?,
+            commits: Vec::decode(r)?,
+        })
+    }
+}
+
 /// All XPaxos wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum XpMsg {
     /// Client → replicas.
     Request(Request),
@@ -260,6 +424,90 @@ impl XpMsg {
     }
 }
 
+// Wire framing: a one-byte variant discriminant followed by the variant's
+// canonical payload encoding. The simulator passes `XpMsg` values by clone,
+// so this framing is exercised only by the round-trip property tests — but
+// it is exactly what a real transport would ship, and it is where
+// length-prefix bugs in `qsel_types::encode` would bite.
+impl Encode for XpMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            XpMsg::Request(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            XpMsg::Prepare(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+            XpMsg::Commit(c) => {
+                buf.push(2);
+                c.encode(buf);
+            }
+            XpMsg::Reply(r) => {
+                buf.push(3);
+                r.encode(buf);
+            }
+            XpMsg::ViewChange(vc) => {
+                buf.push(4);
+                vc.encode(buf);
+            }
+            XpMsg::NewView(nv) => {
+                buf.push(5);
+                nv.encode(buf);
+            }
+            XpMsg::Update(u) => {
+                buf.push(6);
+                u.encode(buf);
+            }
+            XpMsg::Heartbeat(h) => {
+                buf.push(7);
+                h.encode(buf);
+            }
+            XpMsg::LazyUpdate { entries } => {
+                buf.push(8);
+                entries.encode(buf);
+            }
+            XpMsg::StateFetch { from_slot, to_slot } => {
+                buf.push(9);
+                from_slot.encode(buf);
+                to_slot.encode(buf);
+            }
+            XpMsg::StateBatch { entries } => {
+                buf.push(10);
+                entries.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for XpMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let tag = u8::decode(r)?;
+        Ok(match tag {
+            0 => XpMsg::Request(Request::decode(r)?),
+            1 => XpMsg::Prepare(SignedPrepare::decode(r)?),
+            2 => XpMsg::Commit(SignedCommit::decode(r)?),
+            3 => XpMsg::Reply(Reply::decode(r)?),
+            4 => XpMsg::ViewChange(SignedViewChange::decode(r)?),
+            5 => XpMsg::NewView(SignedNewView::decode(r)?),
+            6 => XpMsg::Update(SignedUpdate::decode(r)?),
+            7 => XpMsg::Heartbeat(SignedHeartbeat::decode(r)?),
+            8 => XpMsg::LazyUpdate {
+                entries: Vec::decode(r)?,
+            },
+            9 => XpMsg::StateFetch {
+                from_slot: u64::decode(r)?,
+                to_slot: u64::decode(r)?,
+            },
+            10 => XpMsg::StateBatch {
+                entries: Vec::decode(r)?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,16 +527,16 @@ mod tests {
     fn commit_embeds_prepare() {
         let cfg = ClusterConfig::new(3, 1).unwrap();
         let chain = Keychain::new(&cfg, 1);
-        let req = Request { client: ProcessId(9), op: 1, payload: 7 };
+        let batch = Batch::single(Request { client: ProcessId(9), op: 1, payload: 7 });
         let prep = chain.signer(ProcessId(1)).sign(PreparePayload {
             view: 0,
             slot: 1,
-            req: req.clone(),
+            batch: batch.clone(),
         });
         let commit = chain.signer(ProcessId(2)).sign(CommitPayload {
             view: 0,
             slot: 1,
-            digest: req.digest(),
+            digest: batch.digest(),
             prepare: prep.clone(),
         });
         assert!(chain.verifier().verify(&commit).is_ok());
@@ -297,6 +545,23 @@ mod tests {
         let mut bad = commit.clone();
         bad.payload.prepare.payload.slot = 9;
         assert!(chain.verifier().verify(&bad).is_err());
+    }
+
+    #[test]
+    fn batch_digest_distinguishes_order_and_split() {
+        let a = Request { client: ProcessId(9), op: 1, payload: 7 };
+        let b = Request { client: ProcessId(9), op: 2, payload: 8 };
+        let ab = Batch::new(vec![a.clone(), b.clone()]);
+        let ba = Batch::new(vec![b, a.clone()]);
+        assert_ne!(ab.digest(), ba.digest(), "batch order is significant");
+        assert_ne!(
+            Batch::single(a.clone()).digest(),
+            Batch::new(vec![]).digest()
+        );
+        // The length prefix separates a singleton batch from the bare
+        // request encoding.
+        assert_ne!(encode_to_vec(&Batch::single(a.clone())), encode_to_vec(&a));
+        assert!(Batch::single(a).contains(ProcessId(9), 1));
     }
 
     #[test]

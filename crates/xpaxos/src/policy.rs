@@ -10,7 +10,64 @@
 //! quorums ordered before Q" — i.e. jumps directly to the next view whose
 //! combination is `Q` ([`ViewPolicy::view_for_quorum`]).
 
+use qsel_simnet::SimDuration;
 use qsel_types::{ClusterConfig, ProcessId, ProcessSet, Quorum};
+
+/// Leader-side request batching and commit pipelining knobs.
+///
+/// The leader accumulates pending client requests and proposes one signed
+/// batch per slot. A batch closes as soon as it holds
+/// [`max_batch_size`](Self::max_batch_size) requests, or when
+/// [`max_batch_delay`](Self::max_batch_delay) has elapsed since its first
+/// request arrived (a delay of zero closes every batch immediately). Up to
+/// [`pipeline_depth`](Self::pipeline_depth) slots may be in flight —
+/// proposed but not yet decided — at once.
+///
+/// The default policy (size 1, zero delay, depth 1) is the *compatibility
+/// identity*: the replica takes the exact pre-batching code path, so traced
+/// executions are byte-identical to the unbatched protocol for the same
+/// seed. Batching changes how many requests share a slot, never which
+/// quorum is active or how views change, so the paper's quorum-selection
+/// guarantees (Theorems 3 and 9) are untouched by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most requests a single batch (slot) may carry.
+    pub max_batch_size: usize,
+    /// Longest a non-full batch may wait for more requests before the
+    /// leader proposes it anyway.
+    pub max_batch_delay: SimDuration,
+    /// Most undecided slots the leader keeps in flight at once.
+    pub pipeline_depth: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch_size: 1,
+            max_batch_delay: SimDuration::ZERO,
+            pipeline_depth: 1,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Builds a policy, clamping degenerate zero knobs up to 1.
+    pub fn new(max_batch_size: usize, max_batch_delay: SimDuration, pipeline_depth: usize) -> Self {
+        BatchPolicy {
+            max_batch_size: max_batch_size.max(1),
+            max_batch_delay,
+            pipeline_depth: pipeline_depth.max(1),
+        }
+    }
+
+    /// True for the default policy, which must behave — down to the traced
+    /// byte level — exactly like the pre-batching protocol: one request per
+    /// slot, proposed the moment it arrives, with no in-flight cap beyond
+    /// what the closed-loop clients impose.
+    pub fn is_passthrough(&self) -> bool {
+        *self == BatchPolicy::default()
+    }
+}
 
 /// Lexicographic combination numbering of quorums.
 #[derive(Clone, Copy, Debug)]
@@ -181,5 +238,20 @@ mod tests {
     fn quorum_count() {
         assert_eq!(ViewPolicy::new(&cfg(7, 2)).quorum_count(), 21);
         assert_eq!(ViewPolicy::new(&cfg(10, 3)).quorum_count(), 120);
+    }
+
+    #[test]
+    fn default_batch_policy_is_the_passthrough_identity() {
+        assert!(BatchPolicy::default().is_passthrough());
+        assert!(!BatchPolicy::new(2, SimDuration::ZERO, 1).is_passthrough());
+        assert!(!BatchPolicy::new(1, SimDuration::ZERO, 2).is_passthrough());
+        assert!(!BatchPolicy::new(1, SimDuration::micros(100), 1).is_passthrough());
+    }
+
+    #[test]
+    fn batch_policy_clamps_zero_knobs() {
+        let p = BatchPolicy::new(0, SimDuration::ZERO, 0);
+        assert_eq!(p.max_batch_size, 1);
+        assert_eq!(p.pipeline_depth, 1);
     }
 }

@@ -31,14 +31,17 @@ use qsel_types::{ClusterConfig, ProcessId, Quorum};
 
 use crate::log::Log;
 use crate::messages::{
-    CommitPayload, DecidedEntry, HeartbeatPayload, NewViewPayload, PreparePayload, Reply, Request,
-    SignedCommit, SignedNewView, SignedPrepare, SignedViewChange, ViewChangePayload, XpMsg,
+    Batch, CommitPayload, DecidedEntry, HeartbeatPayload, NewViewPayload, PreparePayload, Reply,
+    Request, SignedCommit, SignedNewView, SignedPrepare, SignedViewChange, ViewChangePayload,
+    XpMsg,
 };
-use crate::policy::ViewPolicy;
+use crate::policy::{BatchPolicy, ViewPolicy};
 
 const TIMER_FD_POLL: TimerId = TimerId(1);
 const TIMER_HEARTBEAT: TimerId = TimerId(2);
 const TIMER_LAZY: TimerId = TimerId(3);
+/// Leader-side batch-delay timer ([`BatchPolicy::max_batch_delay`]).
+const TIMER_BATCH: TimerId = TimerId(4);
 const TIMER_VC_BASE: u64 = 1000;
 
 /// How the replica chooses the next quorum after a suspicion.
@@ -70,6 +73,10 @@ pub struct ReplicaConfig {
     /// passive replicas (XPaxos's background replication). Keeps every
     /// log near the frontier so view changes never replay history.
     pub lazy_period: SimDuration,
+    /// Leader-side request batching and commit pipelining. The default is
+    /// the passthrough identity (size 1, depth 1): byte-identical traced
+    /// behaviour to the unbatched protocol.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ReplicaConfig {
@@ -83,6 +90,7 @@ impl Default for ReplicaConfig {
             view_change_timeout: SimDuration::millis(10),
             heartbeat_period: SimDuration::millis(3),
             lazy_period: SimDuration::millis(10),
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -132,6 +140,12 @@ pub struct Replica {
     /// Whether the NEW-VIEW expectation for the current target is armed.
     nv_expected: bool,
     pending_requests: Vec<Request>,
+    /// Leader-side batch accumulator (non-passthrough policies only):
+    /// requests waiting for the next batch to close.
+    pending_batch: Vec<Request>,
+    /// When the oldest pending request's batch must close even if not
+    /// full ([`BatchPolicy::max_batch_delay`]).
+    batch_deadline: Option<qsel_simnet::SimTime>,
     /// PREPARE/COMMIT traffic that arrived mid view change (or for a view
     /// ahead of ours), replayed once the next view is installed so brief
     /// view-change windows do not turn into false omission suspicions at
@@ -191,6 +205,8 @@ impl Replica {
             collected_vc: HashMap::new(),
             nv_expected: false,
             pending_requests: Vec::new(),
+            pending_batch: Vec::new(),
+            batch_deadline: None,
             pending_protocol: std::collections::VecDeque::new(),
             lazy_sent: 0,
             hb_seq: 0,
@@ -298,6 +314,13 @@ impl Replica {
         self.pump_fd(now, fd_out, &mut outs);
         self.heartbeat_tick(now, &mut outs);
         outs.timers.push((self.rcfg.lazy_period, TIMER_LAZY));
+        // The batch-delay timer died with the process; re-open the window
+        // for any requests that were waiting in the accumulator.
+        if !self.pending_batch.is_empty() && self.rcfg.batch.max_batch_delay > SimDuration::ZERO {
+            self.batch_deadline = Some(now + self.rcfg.batch.max_batch_delay);
+            outs.timers.push((self.rcfg.batch.max_batch_delay, TIMER_BATCH));
+        }
+        self.pump_batches(now, &mut outs);
         // Every correct replica answers a StateFetch (possibly with an
         // empty batch), so the expectation is accuracy-safe — and a peer
         // that crashed in the meantime is rightly suspected.
@@ -388,6 +411,13 @@ impl Replica {
             TIMER_LAZY => {
                 self.lazy_tick(&mut outs);
             }
+            TIMER_BATCH => {
+                // The delay window of the oldest pending request expired;
+                // `pump_batches` closes the undersized batch if a pipeline
+                // slot is free (stale fires are harmless: the deadline
+                // check inside simply does not force a close).
+                self.pump_batches(ctx.now(), &mut outs);
+            }
             TimerId(id) if id >= TIMER_VC_BASE => {
                 // View-change stall timer (enumeration policy): if the
                 // targeted view never activated, try the next quorum.
@@ -468,22 +498,32 @@ impl Replica {
         let leader = self.leader();
         let members = *self.active_quorum().members();
         if self.me == leader {
-            let slot = self.next_slot;
-            self.next_slot += 1;
-            let sp = self.signer.sign(PreparePayload {
-                view: self.view,
-                slot,
-                req,
-            });
-            for k in members.iter() {
-                if k != self.me {
-                    outs.sends.push((k, XpMsg::Prepare(sp.clone())));
-                }
+            if self.rcfg.batch.is_passthrough() {
+                // Compatibility identity: propose immediately, one request
+                // per slot, exactly as the unbatched protocol did.
+                self.propose_batch(now, Batch::single(req), outs);
+                return;
             }
-            self.process_prepare_locally(now, sp, outs);
+            if self
+                .pending_batch
+                .iter()
+                .any(|r| r.client == req.client && r.op == req.op)
+            {
+                return; // retransmission of a request awaiting its batch
+            }
+            self.pending_batch.push(req);
+            if self.batch_deadline.is_none()
+                && self.rcfg.batch.max_batch_delay > SimDuration::ZERO
+            {
+                self.batch_deadline = Some(now + self.rcfg.batch.max_batch_delay);
+                outs.timers.push((self.rcfg.batch.max_batch_delay, TIMER_BATCH));
+            }
+            self.pump_batches(now, outs);
         } else if members.contains(self.me) {
             // Forward to the leader and expect it to prepare this request
-            // (mute-leader detection).
+            // (mute-leader detection). Under batching the request may share
+            // its slot with others, so the expectation matches any PREPARE
+            // (or overtaking COMMIT) whose batch contains it.
             self.stats.forwarded += 1;
             outs.sends.push((leader, XpMsg::Request(req.clone())));
             let view = self.view;
@@ -493,19 +533,89 @@ impl Replica {
                     m,
                     XpMsg::Prepare(sp)
                         if sp.payload.view == view
-                            && sp.payload.req.client == client
-                            && sp.payload.req.op == op
+                            && sp.payload.batch.contains(client, op)
                 ) || matches!(
                     m,
                     XpMsg::Commit(c)
-                        if c.payload.prepare.payload.req.client == client
-                            && c.payload.prepare.payload.req.op == op
+                        if c.payload.prepare.payload.batch.contains(client, op)
                 )
             });
         } else {
             // Passive replica: forward without expectation (it will not
             // receive the PREPARE — only quorum members do).
             outs.sends.push((leader, XpMsg::Request(req)));
+        }
+    }
+
+    /// Signs and proposes `batch` at the next slot: PREPARE to the other
+    /// quorum members, then local processing (which arms the per-member
+    /// COMMIT expectations — one set per slot, so a whole batch costs the
+    /// failure detector exactly one expectation event per member).
+    fn propose_batch(&mut self, now: qsel_simnet::SimTime, batch: Batch, outs: &mut Outs) {
+        let members = *self.active_quorum().members();
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        if !self.rcfg.batch.is_passthrough() {
+            let size = batch.len() as u64;
+            self.trace.emit(|| TraceEvent::BatchProposed {
+                p: self.me.0,
+                slot,
+                size,
+            });
+        }
+        let sp = self.signer.sign(PreparePayload {
+            view: self.view,
+            slot,
+            batch,
+        });
+        for k in members.iter() {
+            if k != self.me {
+                outs.sends.push((k, XpMsg::Prepare(sp.clone())));
+            }
+        }
+        self.process_prepare_locally(now, sp, outs);
+    }
+
+    /// Closes and proposes as many pending batches as the policy allows:
+    /// while a pipeline slot is free, a batch closes once it is full, once
+    /// the batch delay expired, or immediately when no delay is
+    /// configured. No-op for followers, mid view change, and under the
+    /// passthrough policy (whose accumulator is always empty).
+    fn pump_batches(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        if self.phase != Phase::Normal || self.me != self.leader() {
+            return;
+        }
+        let pol = self.rcfg.batch;
+        while !self.pending_batch.is_empty() {
+            if self.log.undecided_from(self.log.watermark()) >= pol.pipeline_depth {
+                break; // pipeline full: wait for a decide
+            }
+            let full = self.pending_batch.len() >= pol.max_batch_size;
+            let deadline_passed = self.batch_deadline.is_some_and(|d| d <= now);
+            if !(full || deadline_passed || pol.max_batch_delay == SimDuration::ZERO) {
+                break; // wait for more requests or the batch timer
+            }
+            let take = self.pending_batch.len().min(pol.max_batch_size);
+            let reqs: Vec<Request> = self
+                .pending_batch
+                .drain(..take)
+                // A request that gained a slot while queued (e.g. via a
+                // NEW-VIEW re-proposal) must not be proposed twice.
+                .filter(|r| self.log.slot_of(r).is_none())
+                .collect();
+            self.batch_deadline = None;
+            if !self.pending_batch.is_empty() && pol.max_batch_delay > SimDuration::ZERO {
+                // Re-open the delay window for the requests left behind.
+                self.batch_deadline = Some(now + pol.max_batch_delay);
+                outs.timers.push((pol.max_batch_delay, TIMER_BATCH));
+            }
+            if reqs.is_empty() {
+                continue;
+            }
+            self.propose_batch(now, Batch::new(reqs), outs);
+        }
+        if self.pending_batch.is_empty() {
+            self.batch_deadline = None;
         }
     }
 
@@ -530,7 +640,7 @@ impl Replica {
             && sc.payload.prepare.payload.view == sc.payload.view
             && sc.payload.prepare.payload.slot == sc.payload.slot
             && sc.payload.prepare.signer == self.views.leader(sc.payload.view)
-            && sc.payload.digest == sc.payload.prepare.payload.req.digest();
+            && sc.payload.digest == sc.payload.prepare.payload.batch.digest();
         if !embedded_ok {
             self.detect(now, sc.signer, outs);
             return;
@@ -581,7 +691,7 @@ impl Replica {
                 )
             });
         }
-        self.try_decide_and_execute(slot, outs);
+        self.try_decide_and_execute(now, slot, outs);
     }
 
     /// Accepts a PREPARE into the log, sends our COMMIT (followers),
@@ -600,13 +710,13 @@ impl Replica {
         let members = *self.views.group(view).members();
         if let Some(existing) = self.log.slot(slot) {
             if existing.decided {
-                if existing.prepare.payload.req == sp.payload.req {
+                if existing.prepare.payload.batch == sp.payload.batch {
                     // Re-proposal of a decided slot: help the others decide.
                     if self.me != leader {
                         let commit = self.signer.sign(CommitPayload {
                             view,
                             slot,
-                            digest: sp.payload.req.digest(),
+                            digest: sp.payload.batch.digest(),
                             prepare: sp,
                         });
                         for k in members.iter() {
@@ -616,7 +726,7 @@ impl Replica {
                         }
                     }
                 } else {
-                    // A different request for a decided slot can only come
+                    // A different batch for a decided slot can only come
                     // from a misbehaving leader.
                     self.detect(now, leader, outs);
                 }
@@ -634,7 +744,7 @@ impl Replica {
             let commit = self.signer.sign(CommitPayload {
                 view,
                 slot,
-                digest: sp.payload.req.digest(),
+                digest: sp.payload.batch.digest(),
                 prepare: sp,
             });
             for k in members.iter() {
@@ -667,10 +777,10 @@ impl Replica {
                 )
             });
         }
-        self.try_decide_and_execute(slot, outs);
+        self.try_decide_and_execute(now, slot, outs);
     }
 
-    fn try_decide_and_execute(&mut self, slot: u64, outs: &mut Outs) {
+    fn try_decide_and_execute(&mut self, now: qsel_simnet::SimTime, slot: u64, outs: &mut Outs) {
         let quorum = self.views.group(self.view);
         let leader = self.views.leader(self.view);
         if self
@@ -682,6 +792,21 @@ impl Replica {
                 p: self.me.0,
                 slot,
             });
+            if !self.rcfg.batch.is_passthrough() {
+                if let Some(s) = self.log.slot(slot) {
+                    let size = s.prepare.payload.batch.len() as u64;
+                    let digest = digest_fingerprint(&s.prepare.payload.batch.digest());
+                    self.trace.emit(|| TraceEvent::BatchCommitted {
+                        p: self.me.0,
+                        slot,
+                        size,
+                        digest,
+                    });
+                }
+            }
+            // A decided slot frees a pipeline stage: the next batch may
+            // close now.
+            self.pump_batches(now, outs);
         }
         for (s, req) in self.log.execute_ready() {
             self.stats.executed += 1;
@@ -719,6 +844,7 @@ impl Replica {
             p: self.me.0,
             target,
         });
+        self.drain_pending_batch();
         self.phase = Phase::ViewChange { target };
         self.vc_gen += 1;
         self.nv_expected = false;
@@ -850,7 +976,7 @@ impl Replica {
                 self.signer.sign(PreparePayload {
                     view: target,
                     slot: sp.payload.slot,
-                    req: sp.payload.req.clone(),
+                    batch: sp.payload.batch.clone(),
                 })
             })
             .collect();
@@ -961,9 +1087,30 @@ impl Replica {
             }
         }
         self.next_slot = max_slot;
+        // Requests stranded in the old leader's batch accumulator rejoin
+        // the pending set — `on_request` re-routes them: proposed if we
+        // still lead, forwarded to the new leader otherwise.
+        self.drain_pending_batch();
         let pending = std::mem::take(&mut self.pending_requests);
         for req in pending {
             self.on_request(now, req, outs);
+        }
+    }
+
+    /// Moves batch-accumulator requests back into `pending_requests`
+    /// (dedup-preserving) and disarms the batch deadline. Called when
+    /// leaving normal operation: the batch machinery only runs for the
+    /// current view's leader.
+    fn drain_pending_batch(&mut self) {
+        self.batch_deadline = None;
+        for req in std::mem::take(&mut self.pending_batch) {
+            if !self
+                .pending_requests
+                .iter()
+                .any(|r| r.client == req.client && r.op == req.op)
+            {
+                self.pending_requests.push(req);
+            }
         }
     }
 
@@ -1083,7 +1230,7 @@ impl Replica {
             return false;
         }
         let members = *self.views.group(view).members();
-        let digest = sp.payload.req.digest();
+        let digest = sp.payload.batch.digest();
         members.iter().filter(|k| *k != leader).all(|k| {
             entry.commits.iter().any(|c| {
                 c.signer == k

@@ -1,0 +1,175 @@
+//! Wire round-trip property tests for [`XpMsg`]: every message variant
+//! must decode back to itself from its canonical encoding, over arbitrary
+//! batched payloads — including the empty batch and the max-size batch the
+//! batching tentpole allows — so length-prefix bugs in `qsel-types::encode`
+//! surface here rather than in a live cluster.
+
+use proptest::prelude::*;
+use qsel::messages::UpdateRow;
+use qsel_types::crypto::Keychain;
+use qsel_types::encode::{decode_from_slice, encode_to_vec};
+use qsel_types::{ClusterConfig, Epoch, ProcessId};
+use qsel_xpaxos::messages::{
+    Batch, CommitPayload, DecidedEntry, HeartbeatPayload, NewViewPayload, PreparePayload, Reply,
+    Request, ViewChangePayload, XpMsg,
+};
+
+/// Builds one of every `XpMsg` variant from the given batch contents.
+fn all_variants(view: u64, slot: u64, reqs: Vec<Request>) -> Vec<XpMsg> {
+    let cfg = ClusterConfig::new(4, 1).unwrap();
+    let chain = Keychain::new(&cfg, 42);
+    let leader = chain.signer(ProcessId(1));
+    let follower = chain.signer(ProcessId(2));
+    let batch = Batch::new(reqs.clone());
+    let prepare = leader.sign(PreparePayload {
+        view,
+        slot,
+        batch: batch.clone(),
+    });
+    let commit = follower.sign(CommitPayload {
+        view,
+        slot,
+        digest: batch.digest(),
+        prepare: prepare.clone(),
+    });
+    vec![
+        XpMsg::Request(reqs.first().cloned().unwrap_or(Request {
+            client: ProcessId(9),
+            op: 0,
+            payload: 0,
+        })),
+        XpMsg::Prepare(prepare.clone()),
+        XpMsg::Commit(commit.clone()),
+        XpMsg::Reply(Reply {
+            view,
+            op: slot,
+            result: slot.wrapping_mul(3),
+        }),
+        XpMsg::ViewChange(follower.sign(ViewChangePayload {
+            target_view: view + 1,
+            watermark: slot,
+            prepared: vec![prepare.clone()],
+        })),
+        XpMsg::NewView(leader.sign(NewViewPayload {
+            view: view + 1,
+            base: slot,
+            reproposals: vec![prepare.clone()],
+        })),
+        XpMsg::Update(leader.sign(UpdateRow {
+            row: vec![Epoch(0), Epoch(view), Epoch(1), Epoch(slot)],
+        })),
+        XpMsg::Heartbeat(leader.sign(HeartbeatPayload { seq: slot })),
+        XpMsg::LazyUpdate {
+            entries: vec![DecidedEntry {
+                prepare: prepare.clone(),
+                commits: vec![commit],
+            }],
+        },
+        XpMsg::StateFetch {
+            from_slot: slot,
+            to_slot: slot + 7,
+        },
+        XpMsg::StateBatch {
+            entries: vec![DecidedEntry {
+                prepare,
+                commits: vec![],
+            }],
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary batched payloads (sizes 0..=32) round-trip through every
+    /// message variant.
+    #[test]
+    fn every_variant_roundtrips_over_arbitrary_batches(
+        view in 0u64..1_000,
+        slot in 0u64..1_000_000,
+        raw in proptest::collection::vec(
+            (1u32..100, 0u64..10_000, 0u64..u64::MAX),
+            0..33
+        ),
+    ) {
+        let reqs: Vec<Request> = raw
+            .into_iter()
+            .map(|(client, op, payload)| Request {
+                client: ProcessId(client),
+                op,
+                payload,
+            })
+            .collect();
+        for msg in all_variants(view, slot, reqs) {
+            let bytes = encode_to_vec(&msg);
+            let back: XpMsg = decode_from_slice(&bytes)
+                .unwrap_or_else(|e| panic!("decode failed for {msg:?}: {e}"));
+            prop_assert_eq!(back, msg);
+        }
+    }
+
+    /// Truncating an encoded message at any byte is rejected, never a
+    /// panic or a bogus success.
+    #[test]
+    fn truncation_is_always_rejected(
+        cut_denominator in 1u64..=97,
+        raw in proptest::collection::vec(
+            (1u32..100, 0u64..10_000, 0u64..u64::MAX),
+            0..9
+        ),
+    ) {
+        let reqs: Vec<Request> = raw
+            .into_iter()
+            .map(|(client, op, payload)| Request {
+                client: ProcessId(client),
+                op,
+                payload,
+            })
+            .collect();
+        for msg in all_variants(3, 17, reqs) {
+            let bytes = encode_to_vec(&msg);
+            // A deterministic sample of cut points per case keeps runtime
+            // sane; the explicit edge cuts always run.
+            let mut cuts = vec![0, bytes.len() / 2, bytes.len() - 1];
+            cuts.push((bytes.len() as u64 % cut_denominator) as usize);
+            cuts.retain(|c| *c < bytes.len());
+            for cut in cuts {
+                let r: Result<XpMsg, _> = decode_from_slice(&bytes[..cut]);
+                prop_assert!(r.is_err(), "truncation to {cut} bytes accepted");
+            }
+        }
+    }
+}
+
+/// The two batch-size extremes the tentpole allows, explicitly.
+#[test]
+fn empty_and_max_batches_roundtrip() {
+    let empty: Vec<Request> = vec![];
+    let max: Vec<Request> = (0..32)
+        .map(|i| Request {
+            client: ProcessId(100 + i),
+            op: u64::from(i),
+            payload: u64::MAX - u64::from(i),
+        })
+        .collect();
+    for reqs in [empty, max] {
+        for msg in all_variants(0, 0, reqs) {
+            let bytes = encode_to_vec(&msg);
+            let back: XpMsg = decode_from_slice(&bytes).expect("roundtrip");
+            assert_eq!(back, msg);
+        }
+    }
+}
+
+/// A forged length prefix claiming a giant batch must fail fast (the
+/// reader's length-sanity check), not attempt the allocation.
+#[test]
+fn forged_batch_length_is_rejected_without_allocating() {
+    let batch = Batch::new(vec![]);
+    let mut bytes = encode_to_vec(&batch);
+    // Layout: 4-byte "BTCH" tag, then the u64 request count.
+    assert_eq!(&bytes[..4], b"BTCH");
+    bytes[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+    let r: Result<Batch, _> = decode_from_slice(&bytes);
+    assert!(r.is_err(), "forged length accepted");
+}

@@ -17,6 +17,8 @@ use qsel_simnet::{FaultEvent, FaultPlan, LinkState, SimDuration, SimTime, Simula
 use qsel_types::{ClusterConfig, ProcessId};
 use qsel_xpaxos::harness::{assert_safety, total_committed, ClusterBuilder, XpActor};
 use qsel_xpaxos::messages::XpMsg;
+use qsel_xpaxos::policy::BatchPolicy;
+use qsel_xpaxos::replica::ReplicaConfig;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -126,6 +128,24 @@ pub fn plan_for(seed: u64, n: u32) -> FaultPlan {
     plan
 }
 
+/// Derives the batch policy for `seed` (independent RNG stream from
+/// [`plan_for`]'s, so fault scripts are unchanged for existing seeds).
+/// Chaos runs sweep the batching configuration space — sizes 1..=8,
+/// pipeline depths 1..=4, accumulation windows 0..=800 µs — so the soak
+/// exercises batched slots, partial-batch timer closes and pipelined
+/// commits under faults, not just the passthrough path. A seed that draws
+/// size 1 / zero delay / depth 1 lands on the passthrough identity, which
+/// keeps the legacy code path in the sweep too.
+pub fn batch_policy_for(seed: u64) -> BatchPolicy {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ 0xBA7C);
+    let size = rng.random_range(1..=8u64) as usize;
+    let depth = rng.random_range(1..=4u64) as usize;
+    // A coarse 100 µs grid so the zero-delay (close-immediately) branch
+    // is actually drawn by some seeds, not vanishingly unlikely.
+    let delay = SimDuration::micros(rng.random_range(0..=8u64) * 100);
+    BatchPolicy::new(size, delay, depth)
+}
+
 /// Builds the standard chaos cluster for `seed`.
 pub fn build(seed: u64) -> Simulation<XpMsg, XpActor> {
     build_traced(seed, TraceSink::disabled())
@@ -133,10 +153,13 @@ pub fn build(seed: u64) -> Simulation<XpMsg, XpActor> {
 
 /// Builds the standard chaos cluster for `seed` with a trace sink wired
 /// through every layer (simulator, replicas, detectors, selection modules,
-/// clients).
+/// clients), running under the seed-derived [`batch_policy_for`].
 pub fn build_traced(seed: u64, sink: TraceSink) -> Simulation<XpMsg, XpActor> {
     let cfg = ClusterConfig::new(N, F).unwrap();
+    let mut rcfg = ReplicaConfig::default();
+    rcfg.batch = batch_policy_for(seed);
     ClusterBuilder::new(cfg, seed)
+        .replica_config(rcfg)
         .clients(CLIENTS, OPS_PER_CLIENT)
         .trace_sink(sink)
         .build()

@@ -6,7 +6,10 @@
 //! simulator models — crash/restart, gray-failure pause/resume,
 //! partitions, timing degradation with jitter, and lossy links with
 //! duplication and reordering — always healing everything before a final
-//! deadline. Two properties are asserted per run:
+//! deadline. Each run also adopts a seed-derived `BatchPolicy`
+//! (`batch_policy_for`), so the soak covers batched slots and pipelined
+//! commits under faults as well as the passthrough path. Two properties
+//! are asserted per run:
 //!
 //! * **Safety, always**: no two correct replicas execute different
 //!   requests at the same slot (checked inside `run_chaos`, including
@@ -17,8 +20,8 @@
 //! message carries both, and `reruns_of_a_chaos_seed_are_identical` pins
 //! the reproducibility contract itself.
 
-use qsel_repro::chaos::{plan_for, run_chaos, ChaosRun, N};
-use qsel_simnet::{FaultEvent, NetStats};
+use qsel_repro::chaos::{batch_policy_for, plan_for, run_chaos, ChaosRun, N};
+use qsel_simnet::{FaultEvent, NetStats, SimDuration};
 use qsel_types::ProcessId;
 
 /// Runs one seed and asserts post-heal liveness with a reproducible
@@ -99,6 +102,30 @@ fn reruns_of_a_chaos_seed_are_identical() {
             );
         }
     }
+}
+
+#[test]
+fn seed_derived_batch_policies_cover_the_space() {
+    // The soak's per-seed batch policies are deterministic and actually
+    // spread over the configuration space: the 24 seeds must include real
+    // batching (size > 1), real pipelining (depth > 1) and both immediate
+    // and delayed batch closes — otherwise the chaos sweep only ever
+    // exercises the unbatched path.
+    let policies: Vec<_> = (1..=24u64).map(batch_policy_for).collect();
+    for (i, p) in policies.iter().enumerate() {
+        let seed = i as u64 + 1;
+        assert_eq!(*p, batch_policy_for(seed), "seed {seed} not deterministic");
+        assert!((1..=8).contains(&p.max_batch_size), "seed {seed}: {p:?}");
+        assert!((1..=4).contains(&p.pipeline_depth), "seed {seed}: {p:?}");
+        assert!(
+            p.max_batch_delay <= SimDuration::micros(800),
+            "seed {seed}: {p:?}"
+        );
+    }
+    assert!(policies.iter().any(|p| p.max_batch_size > 1));
+    assert!(policies.iter().any(|p| p.pipeline_depth > 1));
+    assert!(policies.iter().any(|p| p.max_batch_delay == SimDuration::ZERO));
+    assert!(policies.iter().any(|p| p.max_batch_delay > SimDuration::ZERO));
 }
 
 #[test]
