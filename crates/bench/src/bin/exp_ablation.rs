@@ -11,6 +11,8 @@
 //!    permanent suspicions, transient false accusations accumulate until
 //!    no quorum exists at all; epochs let the system shed them.
 
+#![forbid(unsafe_code)]
+
 use qsel::node::{NodeConfig, SelectorNode, ServiceMsg};
 use qsel_bench::Table;
 use qsel_detector::FdConfig;

@@ -11,6 +11,8 @@
 //!    and after GST. Adaptive back-off must drive post-GST false
 //!    suspicions to zero.
 
+#![forbid(unsafe_code)]
+
 use qsel::node::{NodeConfig, SelectorNode, ServiceMsg};
 use qsel_bench::Table;
 use qsel_detector::FdConfig;
@@ -60,7 +62,7 @@ fn main() {
         let mut excluded_at = None;
         let mut t = crash_at;
         while excluded_at.is_none() && t < SimTime::from_micros(2_000_000) {
-            t = t + SimDuration::millis(1);
+            t += SimDuration::millis(1);
             sim.run_until(t);
             let all_excluded = [1u32, 3, 4].iter().all(|&p| {
                 !sim.actor(ProcessId(p))

@@ -8,12 +8,14 @@
 //! inter-replica messages. Similarly, BFT systems that … reduce the total
 //! number of replicas to n = 2f+1 … [drop] 1/2."
 //!
-//! We measure per-request inter-replica messages in the simulator for:
-//! * PBFT with all `n = 3f+1` replicas participating,
-//! * PBFT restricted to an active quorum of `n − f` (Distler-style),
-//! * XPaxos normal case on its active quorum (this paper's Fig. 2),
-//! and report per-broadcast recipient reductions for both the `3f+1` and
-//! the `2f+1` replica models.
+//! We measure per-request inter-replica messages in the simulator for
+//! PBFT with all `n = 3f+1` replicas participating, PBFT restricted to
+//! an active quorum of `n − f` (Distler-style), and the XPaxos normal
+//! case on its active quorum (this paper's Fig. 2), and report
+//! per-broadcast recipient reductions for both the `3f+1` and the
+//! `2f+1` replica models.
+
+#![forbid(unsafe_code)]
 
 use qsel_bench::{pct, Table};
 use qsel_pbft::{run_workload, Participation};

@@ -9,6 +9,8 @@
 //! enumeration can additionally be forced around its whole C(n, f) cycle
 //! by a single culprit (see exp-baseline), which Algorithm 1 cannot.
 
+#![forbid(unsafe_code)]
+
 use qsel_adversary::game::{
     binomial, max_interruptions, LexFirstIs, RoundRobinEnumeration,
 };

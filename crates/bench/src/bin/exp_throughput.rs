@@ -25,6 +25,8 @@
 //! at ≥ 3× the rate of the unbatched `b1d1` baseline on the 5-replica
 //! cluster.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use qsel_bench::Table;
@@ -68,8 +70,10 @@ fn gated(batch: usize, depth: usize) -> BatchPolicy {
 /// Runs the workload under `policy` and returns committed requests per
 /// simulated second (and the simulated completion time in ms).
 fn run(cfg: ClusterConfig, policy: BatchPolicy) -> (f64, f64) {
-    let mut rcfg = ReplicaConfig::default();
-    rcfg.batch = policy;
+    let mut rcfg = ReplicaConfig {
+        batch: policy,
+        ..Default::default()
+    };
     // Saturating a serializing NIC stretches message latencies well past
     // the LAN-tuned detector defaults; relax them identically for every
     // configuration so the comparison measures batching, not spurious

@@ -7,6 +7,8 @@
 //! then recovery to the pre-fault rate; omissions from the now-passive
 //! replica cost nothing afterwards.
 
+#![forbid(unsafe_code)]
+
 use qsel_bench::Table;
 use qsel_simnet::{SimDuration, SimTime};
 use qsel_types::{ClusterConfig, ProcessId};
@@ -38,7 +40,7 @@ fn run(policy: QuorumPolicy) -> (Vec<u64>, u64) {
             sim.crash(ProcessId(2));
             crashed = true;
         }
-        t = t + bucket;
+        t += bucket;
         sim.run_until(t);
         let committed: u64 = sim
             .ids()

@@ -19,6 +19,8 @@
 //! overhead reaches 2% — the regression budget the roadmap grants the
 //! observability layer.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::time::Instant;
 

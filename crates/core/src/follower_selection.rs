@@ -336,6 +336,7 @@ impl FollowerSelection {
 
     fn issue_quorum(&mut self, out: &mut Vec<FsOutput>) {
         let quorum = LeaderQuorum::of(&self.cfg, self.leader, self.q_last.iter())
+            // lint: allow(S2, q_last is maintained at size n-t by construction; a malformed quorum here is unrecoverable state corruption)
             .expect("internal quorum invariants violated");
         self.stats.record_quorum(self.epoch, *quorum.quorum().members());
         self.trace.emit(|| TraceEvent::QuorumIssued {

@@ -406,6 +406,7 @@ impl Actor<ServiceMsg> for SelectorNode {
                 let outs = self.fd.poll(ctx.now());
                 self.pump(ctx, Work::Fd(outs));
             }
+            // lint: allow(S2, timers are armed only by this node; an unknown id is a harness bug best surfaced loudly)
             other => unreachable!("unknown timer {other:?}"),
         }
     }

@@ -12,6 +12,8 @@
 //! relative comparisons between runs on the same machine remain meaningful,
 //! just without criterion's confidence intervals.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

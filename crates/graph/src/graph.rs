@@ -37,7 +37,7 @@ impl SuspectGraph {
     /// Panics if `n` is 0 or exceeds [`ProcessSet::MAX_PROCESSES`].
     pub fn new(n: u32) -> Self {
         assert!(
-            n >= 1 && n <= ProcessSet::MAX_PROCESSES,
+            (1..=ProcessSet::MAX_PROCESSES).contains(&n),
             "graph size {n} out of range 1..={}",
             ProcessSet::MAX_PROCESSES
         );

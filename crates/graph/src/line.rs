@@ -72,7 +72,7 @@ impl std::error::Error for ForestError {}
 impl LinearForest {
     /// Creates an empty forest on `n` nodes.
     pub fn new(n: u32) -> Self {
-        assert!(n >= 1 && n <= 128, "forest size out of range");
+        assert!((1..=128).contains(&n), "forest size out of range");
         LinearForest {
             n,
             adj: vec![0; n as usize],

@@ -1,0 +1,82 @@
+//! Lint configuration: which crates each lint applies to.
+//!
+//! The scoping encodes the workspace's determinism architecture rather
+//! than per-file whims:
+//!
+//! * protocol/simulation crates must be reproducible byte-for-byte, so
+//!   they get the determinism lints (D1–D3) and the protocol-safety
+//!   lints (S1–S2);
+//! * `bench` and the vendored `criterion` shim measure wall-clock time
+//!   on purpose — they are the only places D2 permits `Instant`;
+//! * the vendored `rand` shim *implements* the seeded generators all
+//!   randomness must flow from, so it is exempt from D3 by definition.
+
+/// Per-lint crate scoping. Crate names are the directory names under
+/// `crates/` (plus the synthetic names `qsel-repro` for the root package
+/// and `examples` for example binaries).
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// D1 (nondeterministic iteration) applies to these crates.
+    pub d1_crates: Vec<String>,
+    /// D2 (wall clock) applies everywhere *except* these crates.
+    pub d2_exempt_crates: Vec<String>,
+    /// D3 (ambient rng) applies everywhere *except* these crates.
+    pub d3_exempt_crates: Vec<String>,
+    /// S1 (verify before use) applies to these crates.
+    pub s1_crates: Vec<String>,
+    /// S2 (panic in protocol code) applies to these crates.
+    pub s2_crates: Vec<String>,
+    /// Path substrings exempt from H1 (crate roots allowed to omit
+    /// `#![forbid(unsafe_code)]`). Empty by default: the whole workspace
+    /// carries the header.
+    pub h1_exempt: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        LintConfig {
+            // Crates whose iteration order can reach messages, traces,
+            // or stats of a seeded simulation.
+            d1_crates: v(&["core", "xpaxos", "pbft", "detector", "simnet"]),
+            d2_exempt_crates: v(&["bench", "criterion"]),
+            d3_exempt_crates: v(&["rand"]),
+            // Crates that handle signed protocol messages.
+            s1_crates: v(&["core", "xpaxos", "pbft", "detector"]),
+            s2_crates: v(&["core", "xpaxos", "pbft", "detector"]),
+            h1_exempt: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Whether D1 applies to `krate`.
+    pub fn d1_applies(&self, krate: &str) -> bool {
+        self.d1_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether D2 applies to `krate`.
+    pub fn d2_applies(&self, krate: &str) -> bool {
+        !self.d2_exempt_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether D3 applies to `krate`.
+    pub fn d3_applies(&self, krate: &str) -> bool {
+        !self.d3_exempt_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether S1 applies to `krate`.
+    pub fn s1_applies(&self, krate: &str) -> bool {
+        self.s1_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether S2 applies to `krate`.
+    pub fn s2_applies(&self, krate: &str) -> bool {
+        self.s2_crates.iter().any(|c| c == krate)
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is exempt from H1.
+    pub fn h1_exempt(&self, path: &str) -> bool {
+        self.h1_exempt.iter().any(|p| path.contains(p.as_str()))
+    }
+}

@@ -1,0 +1,153 @@
+#![forbid(unsafe_code)]
+//! `qsel-lint` — workspace static analysis for determinism and
+//! protocol-safety invariants.
+//!
+//! The repo's correctness story rests on byte-identical seeded traces
+//! (golden traces, chaos soak, replay bound-checking); this crate is
+//! what *enforces* the properties those tests only sample. Six lints,
+//! each token-level and suppressible in place:
+//!
+//! | id | name | invariant |
+//! |----|------|-----------|
+//! | D1 | nondeterministic-iteration | no `HashMap`/`HashSet` in crates whose iteration order can reach messages, traces, or stats |
+//! | D2 | wall-clock | no `std::time::{Instant, SystemTime}` outside `bench`/`criterion` |
+//! | D3 | ambient-rng | no `thread_rng`/`from_entropy`/`OsRng`; randomness flows from seeded generators |
+//! | S1 | verify-before-use | a fn taking a `Signed*` message verifies it before reading `.payload` |
+//! | S2 | panic-in-protocol | no `unwrap()`/`expect(_)`/`panic!` family in protocol crates outside tests |
+//! | H1 | unsafe-header | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Escape hatch: `// lint: allow(ID, reason)` on the finding's line or
+//! the line directly above. Suppressed findings still appear in
+//! `lint_report.json` (with their reasons) — the annotation trail is an
+//! audit log, not a mute button.
+//!
+//! Run with `cargo run -p qsel-lint`; exits non-zero on any
+//! unsuppressed finding.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use config::LintConfig;
+pub use lints::{lint_file, FileMeta};
+pub use report::{Finding, Report};
+
+/// Lints every workspace source file under `root` with `cfg`.
+///
+/// Scanned: `crates/*/src/**/*.rs` (including `src/bin/`), the root
+/// package's `src/**/*.rs`, and `examples/*.rs`. Integration-test
+/// directories (`tests/`) are not scanned — every lint except H1
+/// already exempts test code, and fixtures under
+/// `crates/lint/tests/fixtures/` contain deliberate violations.
+pub fn run(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
+    let mut files: Vec<(PathBuf, FileMeta)> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut |p| {
+                    files.push((p.to_path_buf(), file_meta(root, p)));
+                })?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut |p| {
+            files.push((p.to_path_buf(), file_meta(root, p)));
+        })?;
+    }
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        collect_rs(&examples, &mut |p| {
+            files.push((p.to_path_buf(), file_meta(root, p)));
+        })?;
+    }
+    lint_paths(&files, cfg)
+}
+
+/// Lints an explicit file set (the fixture tests use this directly).
+pub fn lint_paths(files: &[(PathBuf, FileMeta)], cfg: &LintConfig) -> std::io::Result<Report> {
+    let mut report = Report {
+        findings: Vec::new(),
+        files_scanned: files.len(),
+    };
+    for (path, meta) in files {
+        let src = fs::read_to_string(path)?;
+        report.findings.extend(lint_file(&src, meta, cfg));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Computes the [`FileMeta`] for `path` relative to the workspace root.
+pub fn file_meta(root: &Path, path: &Path) -> FileMeta {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let rel_str = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let parts: Vec<&str> = rel_str.split('/').collect();
+    let krate = match parts.first() {
+        Some(&"crates") => parts.get(1).unwrap_or(&"").to_string(),
+        Some(&"examples") => "examples".to_string(),
+        _ => "qsel-repro".to_string(),
+    };
+    let is_crate_root = rel_str.ends_with("src/lib.rs")
+        || rel_str.ends_with("src/main.rs")
+        || rel_str.contains("/src/bin/")
+        || parts.first() == Some(&"examples");
+    FileMeta {
+        path: rel_str,
+        krate,
+        is_crate_root,
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic report order.
+fn collect_rs(dir: &Path, f: &mut impl FnMut(&Path)) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, f)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            f(&p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_meta_classifies_paths() {
+        let root = Path::new("/ws");
+        let m = file_meta(root, Path::new("/ws/crates/xpaxos/src/log.rs"));
+        assert_eq!((m.krate.as_str(), m.is_crate_root), ("xpaxos", false));
+        let m = file_meta(root, Path::new("/ws/crates/bench/src/bin/exp_thm3.rs"));
+        assert_eq!((m.krate.as_str(), m.is_crate_root), ("bench", true));
+        let m = file_meta(root, Path::new("/ws/examples/trace_run.rs"));
+        assert_eq!((m.krate.as_str(), m.is_crate_root), ("examples", true));
+        let m = file_meta(root, Path::new("/ws/src/lib.rs"));
+        assert_eq!((m.krate.as_str(), m.is_crate_root), ("qsel-repro", true));
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixture-driven self-test: every lint is proven by a bad/good file
+//! pair, and the machine-readable report carries exact (lint, file,
+//! line) triples for each.
+
+use std::path::PathBuf;
+
+use qsel_lint::{lint_paths, FileMeta, LintConfig};
+
+/// (disk path, meta) for a fixture, linted as if it lived in `krate`.
+fn fixture(name: &str, krate: &str, is_crate_root: bool) -> (PathBuf, FileMeta) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let meta = FileMeta {
+        path: format!("fixtures/{name}"),
+        krate: krate.to_string(),
+        is_crate_root,
+    };
+    (path, meta)
+}
+
+#[test]
+fn bad_fixtures_fire_exact_findings() {
+    let files = vec![
+        fixture("d1_bad.rs", "xpaxos", false),
+        fixture("d2_bad.rs", "xpaxos", false),
+        fixture("d3_bad.rs", "xpaxos", false),
+        fixture("s1_bad.rs", "xpaxos", false),
+        fixture("s2_bad.rs", "xpaxos", false),
+        fixture("h1_bad.rs", "xpaxos", true),
+    ];
+    let report = lint_paths(&files, &LintConfig::default()).unwrap();
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.lint, f.file.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("D1", "fixtures/d1_bad.rs", 5),
+            ("D2", "fixtures/d2_bad.rs", 3),
+            ("D3", "fixtures/d3_bad.rs", 3),
+            ("H1", "fixtures/h1_bad.rs", 1),
+            ("S1", "fixtures/s1_bad.rs", 2),
+            ("S2", "fixtures/s2_bad.rs", 3),
+        ]
+    );
+    assert!(report.findings.iter().all(|f| f.suppressed.is_none()));
+    assert_eq!(report.unsuppressed_count(), 6);
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    let files = vec![
+        fixture("d1_good.rs", "xpaxos", false),
+        fixture("d2_good.rs", "xpaxos", false),
+        fixture("d3_good.rs", "xpaxos", false),
+        fixture("s1_good.rs", "xpaxos", false),
+        fixture("s2_good.rs", "xpaxos", false),
+        fixture("h1_good.rs", "xpaxos", true),
+    ];
+    let report = lint_paths(&files, &LintConfig::default()).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "expected clean fixtures, got: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn suppression_records_reason_and_does_not_gate() {
+    let files = vec![fixture("suppressed.rs", "xpaxos", false)];
+    let report = lint_paths(&files, &LintConfig::default()).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!((f.lint, f.line), ("S2", 4));
+    assert_eq!(
+        f.suppressed.as_deref(),
+        Some("fixture demonstrates the escape hatch")
+    );
+    assert_eq!(report.unsuppressed_count(), 0);
+}
+
+#[test]
+fn cfg_test_code_is_exempt() {
+    let files = vec![fixture("cfg_test.rs", "xpaxos", false)];
+    let report = lint_paths(&files, &LintConfig::default()).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "test code must be exempt, got: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn json_report_carries_exact_ids_files_and_lines() {
+    let files = vec![
+        fixture("d1_bad.rs", "xpaxos", false),
+        fixture("suppressed.rs", "xpaxos", false),
+    ];
+    let report = lint_paths(&files, &LintConfig::default()).unwrap();
+    let json = report.to_json();
+    assert!(json.contains(
+        r#"{"lint": "D1", "file": "fixtures/d1_bad.rs", "line": 5,"#
+    ));
+    assert!(json.contains(
+        r#"{"lint": "S2", "file": "fixtures/suppressed.rs", "line": 4,"#
+    ));
+    assert!(json.contains(r#""suppressed": "fixture demonstrates the escape hatch""#));
+    assert!(json.contains(r#""summary": {"files_scanned": 2, "total": 2, "suppressed": 1, "unsuppressed": 1}"#));
+}

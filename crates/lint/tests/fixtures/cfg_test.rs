@@ -1,0 +1,13 @@
+//! Test-code exemption fixture: violations inside `#[cfg(test)]` and
+//! `#[test]` items are out of scope for every lint but H1.
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tallies() {
+        let mut m: HashMap<u8, u8> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.remove(&1).unwrap(), 2);
+    }
+}

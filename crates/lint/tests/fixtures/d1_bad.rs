@@ -1,0 +1,6 @@
+//! D1 fixture: `HashMap` field in a determinism-sensitive crate.
+use std::collections::HashMap;
+
+pub struct Tally {
+    pub votes: HashMap<u64, u32>,
+}

@@ -1,0 +1,6 @@
+//! D1 fixture (clean): ordered map, deterministic iteration.
+use std::collections::BTreeMap;
+
+pub struct Tally {
+    pub votes: BTreeMap<u64, u32>,
+}

@@ -1,0 +1,4 @@
+//! D2 fixture: wall-clock time in deterministic code.
+pub fn stamp_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}

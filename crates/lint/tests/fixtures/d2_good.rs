@@ -1,0 +1,4 @@
+//! D2 fixture (clean): time flows from the simulated clock.
+pub fn stamp(now: SimTime) -> SimTime {
+    now
+}

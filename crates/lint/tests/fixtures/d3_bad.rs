@@ -1,0 +1,4 @@
+//! D3 fixture: ambient randomness.
+pub fn roll() -> u64 {
+    rand::thread_rng().next_u64()
+}

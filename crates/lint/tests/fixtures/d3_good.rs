@@ -1,0 +1,4 @@
+//! D3 fixture (clean): randomness flows from a seeded generator.
+pub fn roll(rng: &mut StdRng) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,2 @@
+//! H1 fixture: crate root without the unsafe-code forbid header.
+fn main() {}

@@ -1,0 +1,3 @@
+//! H1 fixture (clean): crate root carrying the header.
+#![forbid(unsafe_code)]
+fn main() {}

@@ -1,0 +1,4 @@
+//! S1 fixture: signed payload read without verification.
+pub fn on_prepare(sp: SignedPrepare) -> u64 {
+    sp.payload.slot
+}

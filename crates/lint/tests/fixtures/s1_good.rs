@@ -1,0 +1,5 @@
+//! S1 fixture (clean): payload read only after verification.
+pub fn on_prepare(keys: &Verifier, sp: SignedPrepare) -> Option<u64> {
+    keys.verify(&sp).ok()?;
+    Some(sp.payload.slot)
+}

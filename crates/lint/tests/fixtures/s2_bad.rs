@@ -1,0 +1,4 @@
+//! S2 fixture: panic path in protocol code.
+pub fn committed_op(op: Option<u64>) -> u64 {
+    op.unwrap()
+}

@@ -1,0 +1,4 @@
+//! S2 fixture (clean): typed error instead of a panic.
+pub fn committed_op(op: Option<u64>) -> Result<u64, Error> {
+    op.ok_or(Error::MissingOp)
+}

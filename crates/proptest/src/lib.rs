@@ -21,6 +21,8 @@
 //! - **Fixed derivation.** There is no `PROPTEST_CASES` env handling or
 //!   failure persistence file; every run executes the same case sequence.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

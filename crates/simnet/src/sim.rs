@@ -240,6 +240,9 @@ impl fmt::Display for NetStats {
     }
 }
 
+/// Message classifier used for per-kind send statistics.
+type Classifier<M> = Box<dyn Fn(&M) -> &'static str>;
+
 /// A deterministic discrete-event simulation over actors of type `A`
 /// exchanging messages of type `M`.
 ///
@@ -269,7 +272,7 @@ pub struct Simulation<M, A> {
     started: bool,
     stats: NetStats,
     trace: TraceSink,
-    classifier: Option<Box<dyn Fn(&M) -> &'static str>>,
+    classifier: Option<Classifier<M>>,
     scratch_sends: Vec<(ProcessId, M)>,
     scratch_timers: Vec<(SimDuration, TimerId)>,
 }
@@ -603,7 +606,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         // at t already find the cut in place.
         let next_event = self.queue.peek().map(|e| e.time);
         if let Some((tf, _)) = self.pending_faults.front() {
-            if next_event.map_or(true, |te| *tf <= te) {
+            if next_event.is_none_or(|te| *tf <= te) {
                 self.apply_next_fault();
                 return true;
             }
@@ -816,8 +819,7 @@ impl<M: Clone, A: Actor<M>> Simulation<M, A> {
         let model = link.delay_override.unwrap_or(self.cfg.delay);
         let mut deliver_at = depart + model.sample(&mut self.rng, self.now) + link.extra_delay;
         if link.jitter > SimDuration::ZERO {
-            deliver_at = deliver_at
-                + SimDuration::micros(self.rng.random_range(0..=link.jitter.as_micros()));
+            deliver_at += SimDuration::micros(self.rng.random_range(0..=link.jitter.as_micros()));
         }
         if reorder {
             // Hold the message back without advancing the FIFO floor:

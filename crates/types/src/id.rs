@@ -335,7 +335,7 @@ impl IntoIterator for ProcessSet {
     }
 }
 
-impl<'a> IntoIterator for &'a ProcessSet {
+impl IntoIterator for &ProcessSet {
     type Item = ProcessId;
     type IntoIter = Iter;
     fn into_iter(self) -> Iter {

@@ -1,6 +1,6 @@
 //! A closed-loop XPaxos client.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use qsel_detector::TimeoutPolicy;
 use qsel_obs::{TraceEvent, TraceSink};
@@ -33,7 +33,7 @@ pub struct Client {
     sent_at: SimTime,
     /// Matching replies for the in-flight op: result → replicas that
     /// reported it.
-    tally: HashMap<u64, Vec<ProcessId>>,
+    tally: BTreeMap<u64, Vec<ProcessId>>,
     /// (op, result, latency) for every completed operation.
     pub completed: Vec<(u64, u64, SimDuration)>,
     /// Retransmissions sent.
@@ -57,7 +57,7 @@ impl Client {
             max_ops,
             next_op: 0,
             sent_at: SimTime::ZERO,
-            tally: HashMap::new(),
+            tally: BTreeMap::new(),
             completed: Vec::new(),
             retries: 0,
             trace: TraceSink::disabled(),
@@ -119,7 +119,7 @@ impl Client {
         }
         // f+1 matching replies guarantee at least one correct replica
         // executed the operation at this slot.
-        if entry.len() as u32 >= self.cluster.f() + 1 {
+        if entry.len() as u32 > self.cluster.f() {
             let latency = ctx.now() - self.sent_at;
             self.completed.push((reply.op, reply.result, latency));
             self.trace.emit(|| TraceEvent::ClientCommit {

@@ -8,6 +8,7 @@ use qsel_types::{ProcessId, ProcessSet};
 use crate::messages::{Request, SignedCommit, SignedPrepare};
 
 /// Inserts the dedup assignment of every request in `prepare`'s batch.
+// lint: allow(D1, lookup-only dedup index; never iterated) lint: allow(S1, σ_l checked at the replica boundary before log admission)
 fn assign_batch(assigned: &mut HashMap<(ProcessId, u64), u64>, prepare: &SignedPrepare) {
     for req in &prepare.payload.batch.reqs {
         assigned.insert((req.client, req.op), prepare.payload.slot);
@@ -21,8 +22,10 @@ pub struct Slot {
     /// it).
     pub prepare: SignedPrepare,
     /// Signed COMMITs received, by sender (kept whole so decided slots
-    /// carry a transferable certificate).
-    pub commits: HashMap<ProcessId, SignedCommit>,
+    /// carry a transferable certificate). Ordered so `certificate()`
+    /// emits commits in signer order — certificates cross the network
+    /// and must not leak iteration order into message bytes.
+    pub commits: BTreeMap<ProcessId, SignedCommit>,
     /// Whether we broadcast our own COMMIT for this slot.
     pub committed_by_us: bool,
     /// Whether the commit certificate is complete.
@@ -33,7 +36,7 @@ impl Slot {
     fn new(prepare: SignedPrepare) -> Self {
         Slot {
             prepare,
-            commits: HashMap::new(),
+            commits: BTreeMap::new(),
             committed_by_us: false,
             decided: false,
         }
@@ -51,9 +54,11 @@ pub struct Log {
     /// State-machine state: a running digest-free fold of payloads.
     pub state: u64,
     /// Request dedup: (client, op) → slot.
+    // lint: allow(D1, lookup-only dedup index; never iterated)
     assigned: HashMap<(ProcessId, u64), u64>,
     /// Execution dedup: a request re-proposed at a second slot after a
     /// view change must not be applied twice.
+    // lint: allow(D1, membership-only dedup set; never iterated)
     executed_ops: HashSet<(ProcessId, u64)>,
 }
 
@@ -72,6 +77,7 @@ impl Log {
     /// nothing) if the slot already holds a *different* prepare — the
     /// caller decides whether that means equivocation (same view) or a
     /// legitimate re-proposal (higher view, which replaces the entry).
+    // lint: allow(S1, σ_l checked by replica authenticate/verify_certificate before log admission)
     pub fn accept_prepare(&mut self, prepare: SignedPrepare) -> bool {
         let slot_no = prepare.payload.slot;
         match self.slots.get_mut(&slot_no) {
@@ -116,6 +122,7 @@ impl Log {
 
     /// Records a signed COMMIT. Returns `true` if its digest matches the
     /// accepted prepare's batch digest.
+    // lint: allow(S1, σ_l checked by replica authenticate/verify_certificate before log admission)
     pub fn record_commit(&mut self, slot: u64, commit: SignedCommit) -> bool {
         let Some(s) = self.slots.get_mut(&slot) else {
             return false;
@@ -224,6 +231,7 @@ impl Log {
     /// replication): stores the prepare with its commit certificate and
     /// marks the slot decided. A conflicting *decided* entry is never
     /// overwritten; returns `false` in that case.
+    // lint: allow(S1, callers adopt only entries that passed verify_certificate)
     pub fn adopt_decided(&mut self, prepare: SignedPrepare, commits: Vec<SignedCommit>) -> bool {
         let slot_no = prepare.payload.slot;
         match self.slots.get_mut(&slot_no) {

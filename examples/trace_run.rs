@@ -27,6 +27,8 @@
 //! trace does not reparse, or the analyzer reports any violation — so CI
 //! can gate on the paper's bounds holding over a real execution.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use qsel_repro::chaos::{plan_for, run_chaos_with_sink, F, N};

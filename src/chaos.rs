@@ -156,8 +156,10 @@ pub fn build(seed: u64) -> Simulation<XpMsg, XpActor> {
 /// clients), running under the seed-derived [`batch_policy_for`].
 pub fn build_traced(seed: u64, sink: TraceSink) -> Simulation<XpMsg, XpActor> {
     let cfg = ClusterConfig::new(N, F).unwrap();
-    let mut rcfg = ReplicaConfig::default();
-    rcfg.batch = batch_policy_for(seed);
+    let rcfg = ReplicaConfig {
+        batch: batch_policy_for(seed),
+        ..Default::default()
+    };
     ClusterBuilder::new(cfg, seed)
         .replica_config(rcfg)
         .clients(CLIENTS, OPS_PER_CLIENT)
