@@ -27,6 +27,9 @@
 //! * [`byzantine`] — network-level Byzantine actors for `qsel-simnet`
 //!   runs: mute processes, false accusers, and selectively-omitting or
 //!   delaying variants of the honest node.
+//! * [`registry`] — the by-name strategy registry the declarative
+//!   scenario layer (`qsel-scenario`) resolves adversary configuration
+//!   through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,3 +37,4 @@
 pub mod byzantine;
 pub mod cluster;
 pub mod game;
+pub mod registry;

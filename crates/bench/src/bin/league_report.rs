@@ -1,0 +1,143 @@
+//! Scenario-league verdict aggregator.
+//!
+//! Walks a directory tree for `verdict.json` files (one per CI matrix
+//! cell, written by the `scenario_run` example), folds them into a single
+//! `league_report.json`, and prints a GitHub-flavoured markdown pass/fail
+//! table for the job summary.
+//!
+//! Usage:
+//!
+//! ```text
+//! league-report <dir> [--json PATH] [--md PATH]
+//! ```
+//!
+//! Exits non-zero if any cell failed, any verdict does not parse, or no
+//! verdicts were found at all (an empty league means the matrix broke —
+//! that must not read as green).
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qsel_bench::Table;
+use qsel_obs::Verdict;
+
+fn collect_verdicts(dir: &Path, out: &mut Vec<(PathBuf, Verdict)>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    // Sort for a deterministic report independent of filesystem order.
+    let mut paths: Vec<PathBuf> = entries
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_verdicts(&path, out)?;
+        } else if path.file_name().is_some_and(|n| n == "verdict.json") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let verdict =
+                Verdict::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push((path, verdict));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(root) = args.next() else {
+        eprintln!("usage: league-report <dir> [--json PATH] [--md PATH]");
+        return ExitCode::FAILURE;
+    };
+    let mut json_path: Option<PathBuf> = None;
+    let mut md_path: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        let value = args.next().map(PathBuf::from);
+        match (flag.as_str(), value) {
+            ("--json", Some(p)) => json_path = Some(p),
+            ("--md", Some(p)) => md_path = Some(p),
+            (other, _) => {
+                eprintln!("unknown or valueless flag {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut cells: Vec<(PathBuf, Verdict)> = Vec::new();
+    if let Err(e) = collect_verdicts(Path::new(&root), &mut cells) {
+        eprintln!("league-report: {e}");
+        return ExitCode::FAILURE;
+    }
+    if cells.is_empty() {
+        eprintln!("league-report: no verdict.json found under {root}");
+        return ExitCode::FAILURE;
+    }
+    cells.sort_by_key(|(_, a)| (a.scenario.clone(), a.seed));
+
+    let passed = cells.iter().filter(|(_, v)| v.pass()).count();
+    let failed = cells.len() - passed;
+
+    // league_report.json: the per-cell verdicts verbatim plus the totals,
+    // so downstream tooling needs no second artifact fetch.
+    let rendered: Vec<String> = cells
+        .iter()
+        .map(|(_, v)| {
+            v.to_json()
+                .trim_end()
+                .lines()
+                .map(|l| format!("    {l}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"cells\": {},\n  \"passed\": {passed},\n  \"failed\": {failed},\n  \
+         \"verdicts\": [\n{}\n  ]\n}}\n",
+        cells.len(),
+        rendered.join(",\n")
+    );
+
+    let mut table = Table::new(vec!["scenario", "seed", "result", "failed checks"]);
+    for (_, v) in &cells {
+        let failed_checks: Vec<&str> = v
+            .checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| c.name.as_str())
+            .collect();
+        table.row(vec![
+            v.scenario.clone(),
+            v.seed.to_string(),
+            if v.pass() { "✅ pass" } else { "❌ FAIL" }.to_string(),
+            if failed_checks.is_empty() {
+                "—".to_string()
+            } else {
+                failed_checks.join(", ")
+            },
+        ]);
+    }
+    let md = format!(
+        "## Scenario league\n\n{}\n{} of {} cells passed.\n",
+        table.render(),
+        passed,
+        cells.len()
+    );
+
+    if let Some(p) = &json_path {
+        std::fs::write(p, &json).expect("cannot write league report json");
+        println!("report → {}", p.display());
+    }
+    if let Some(p) = &md_path {
+        std::fs::write(p, &md).expect("cannot write league report markdown");
+        println!("summary → {}", p.display());
+    }
+    print!("{md}");
+
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -37,8 +37,10 @@ impl Default for LintConfig {
         let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
         LintConfig {
             // Crates whose iteration order can reach messages, traces,
-            // or stats of a seeded simulation.
-            d1_crates: v(&["core", "xpaxos", "pbft", "detector", "simnet"]),
+            // or stats of a seeded simulation. The scenario layer compiles
+            // specs into fault plans and actor placements, so its iteration
+            // order reaches the trace too.
+            d1_crates: v(&["core", "xpaxos", "pbft", "detector", "simnet", "scenario"]),
             d2_exempt_crates: v(&["bench", "criterion"]),
             d3_exempt_crates: v(&["rand"]),
             // Crates that handle signed protocol messages.

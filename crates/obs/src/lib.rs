@@ -18,6 +18,10 @@
 //!   Theorem 9 `3f+1` per-epoch quorum bounds, per-slot agreement across
 //!   replicas, and "no delivery to a crashed incarnation".
 //!
+//! A fourth piece, [`Verdict`], packages the outcome of an analyzed run —
+//! named pass/fail checks plus a metrics summary — as round-tripping JSON
+//! for CI artifacts and league aggregation.
+//!
 //! Timestamps are plain `u64` microseconds of simulated time: this crate
 //! sits *below* `qsel-simnet` in the dependency graph (the simulator emits
 //! into it), so it cannot use the simulator's `SimTime` newtype.
@@ -45,8 +49,10 @@ pub mod event;
 pub mod metrics;
 pub mod replay;
 pub mod sink;
+pub mod verdict;
 
 pub use event::{TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use replay::{ReplayConfig, ReplayReport, Violation};
 pub use sink::{TraceConfig, TraceSink};
+pub use verdict::{Check, Verdict};

@@ -1,0 +1,343 @@
+//! Deterministic scenario execution.
+//!
+//! [`run_scenario`] turns a validated [`Scenario`] plus a seed into a
+//! finished run: it compiles the declarative fault script and geo matrix
+//! into a [`FaultPlan`], builds the XPaxos cluster (placing the adversary
+//! actor the scenario names), executes on `qsel-simnet`, exports the
+//! trace, replays it through the `qsel-obs` analyzer, and folds everything
+//! into a [`Verdict`]. The whole artifact set is a pure function of
+//! `(scenario, seed)` — running twice yields byte-identical traces, which
+//! the determinism test pins down.
+//!
+//! ## Geo matrix vs. whole-network faults
+//!
+//! `Partition` and `HealAll` in the simulator *replace* per-link state, so
+//! a naive compilation would silently erase the scenario's geo delay
+//! overrides at the first heal. The compiler therefore re-emits the geo
+//! `SetLink`s immediately after every `partition` / `heal_all` script
+//! entry (same timestamp; the plan keeps insertion order on ties), marking
+//! links that cross a partition cut as both geo-delayed and dropping.
+
+use qsel_adversary::registry::Strategy;
+use qsel_obs::metrics::standard_metrics;
+use qsel_obs::replay::{analyze, parse_jsonl};
+use qsel_obs::{ReplayConfig, TraceSink, Verdict};
+use qsel_simnet::{DelayModel, FaultEvent, FaultPlan, LinkState, SimDuration, SimTime};
+use qsel_types::{ClusterConfig, ProcessId};
+use qsel_xpaxos::harness::{
+    total_committed, ClusterBuilder, Equivocator, GrayReplica, XpActor,
+};
+use qsel_xpaxos::{BatchPolicy, QuorumPolicy, Replica, ReplicaConfig};
+
+use crate::spec::{Algorithm, Fault, FaultKind, Scenario, WorkloadMode};
+
+/// Everything a scenario run produces.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// Pass/fail per invariant plus the metrics summary.
+    pub verdict: Verdict,
+    /// The full JSONL trace (what the analyzer actually read).
+    pub trace_jsonl: String,
+    /// The standard metrics registry, rendered as JSON.
+    pub metrics_json: String,
+    /// The standard metrics registry, rendered as text.
+    pub metrics_text: String,
+}
+
+/// Runs one scenario at one seed. See the module docs for the pipeline.
+///
+/// # Errors
+///
+/// Returns an error only for *configuration* problems ([`Scenario::validate`]
+/// failures or an unconstructible cluster). Invariant violations and missed
+/// commit thresholds are not errors: they come back as failed checks inside
+/// a verdict, so a league run records them instead of aborting.
+pub fn run_scenario(sc: &Scenario, seed: u64) -> Result<RunArtifacts, String> {
+    sc.validate()?;
+    let cfg = ClusterConfig::new(sc.cluster.n, sc.cluster.f)
+        .map_err(|e| format!("invalid cluster shape: {e:?}"))?;
+
+    let plan = compile_plan(sc);
+    let last_fault_us = plan.last_fault_time().map_or(0, SimTime::as_micros);
+
+    let rcfg = ReplicaConfig {
+        policy: match sc.cluster.algorithm {
+            Algorithm::Qs => QuorumPolicy::Selection,
+            Algorithm::Enumeration => QuorumPolicy::Enumeration,
+        },
+        batch: BatchPolicy::new(
+            usize::try_from(sc.batch.max_size).unwrap_or(usize::MAX),
+            SimDuration::micros(sc.batch.max_delay_us),
+            usize::try_from(sc.batch.pipeline_depth).unwrap_or(usize::MAX),
+        ),
+        ..ReplicaConfig::default()
+    };
+
+    let sink = TraceSink::unbounded();
+    let mut builder = ClusterBuilder::new(cfg, seed)
+        .replica_config(rcfg.clone())
+        .clients(sc.workload.clients, sc.workload.ops_per_client)
+        .retry(SimDuration::micros(sc.workload.retry_us))
+        .tx_cost(SimDuration::micros(sc.workload.tx_cost_us))
+        .trace_sink(sink.clone());
+    if sc.workload.mode == WorkloadMode::Open {
+        builder = builder.open_loop(SimDuration::micros(sc.workload.interarrival_us));
+    }
+
+    let adversary = sc.adversary;
+    let mut sim = builder.build_with(|p, chain| {
+        if p.0 != adversary.process {
+            return None;
+        }
+        match adversary.strategy {
+            Strategy::None => None,
+            Strategy::Mute => Some(XpActor::Mute),
+            Strategy::Equivocate => {
+                Some(XpActor::Equivocator(Equivocator::new(cfg, chain, p)))
+            }
+            Strategy::Gray { delay_us } => Some(XpActor::Gray(GrayReplica::new(
+                Replica::new(cfg, p, chain, rcfg.clone()),
+                SimDuration::micros(delay_us),
+            ))),
+        }
+    });
+    sim.schedule_plan(plan);
+
+    // The horizon: run through the scripted faults and the nominal
+    // workload, then allow `settle_us` for retries/stragglers. Progress is
+    // probed in fixed 250ms slices so a finished run stops early at a
+    // deterministic boundary.
+    let expected = u64::from(sc.workload.clients) * sc.workload.ops_per_client;
+    let nominal_work_us = match sc.workload.mode {
+        WorkloadMode::Open => sc.workload.interarrival_us * sc.workload.ops_per_client,
+        WorkloadMode::Closed => 0,
+    };
+    let base_us = last_fault_us.max(nominal_work_us);
+    let deadline_us = base_us + sc.run.settle_us;
+    sim.run_until(SimTime::from_micros(base_us));
+    while total_committed(&sim) < expected && sim.now().as_micros() < deadline_us {
+        let next = (sim.now().as_micros() + 250_000).min(deadline_us);
+        sim.run_until(SimTime::from_micros(next));
+    }
+
+    let committed = total_committed(&sim);
+    let stats = sim.stats().clone();
+
+    let mut verdict = Verdict::new(&sc.name, seed);
+    let required = (expected * u64::from(sc.run.min_commit_permille)).div_ceil(1000);
+    verdict.check(
+        "commit_fraction",
+        committed >= required,
+        format!(
+            "committed {committed}/{expected} ops (threshold {required}, \
+             {}‰ of expected)",
+            sc.run.min_commit_permille
+        ),
+    );
+
+    // The analyzer deliberately reads the exported bytes, not the
+    // in-memory records: what CI archives is what gets checked.
+    let trace_jsonl = sink.export_jsonl();
+    let records = match parse_jsonl(&trace_jsonl) {
+        Ok(r) => {
+            verdict.check(
+                "trace_roundtrip",
+                true,
+                format!("{} records reparsed from export", r.len()),
+            );
+            r
+        }
+        Err(e) => {
+            verdict.check("trace_roundtrip", false, format!("export does not reparse: {e}"));
+            Vec::new()
+        }
+    };
+
+    let stable_from = sc.run.stable_from_us.unwrap_or(last_fault_us);
+    let replay_cfg = ReplayConfig {
+        f: cfg.f(),
+        stable_from_micros: stable_from,
+    };
+    let report = analyze(&records, &replay_cfg);
+
+    // Violations are classified back to the invariant that produced them
+    // by the analyzer's message vocabulary (each class has a distinctive
+    // phrase); a parallel classification in `Violation` itself would be
+    // nicer but the strings are stable and covered by obs's own tests.
+    let quorum = report
+        .violations
+        .iter()
+        .filter(|v| v.desc.contains("Theorem"))
+        .count();
+    let agreement = report
+        .violations
+        .iter()
+        .filter(|v| v.desc.contains("agreement broken"))
+        .count();
+    let crashed = report
+        .violations
+        .iter()
+        .filter(|v| v.desc.contains("crashed at seq"))
+        .count();
+    let first = |pred: fn(&str) -> bool| {
+        report
+            .violations
+            .iter()
+            .find(|v| pred(&v.desc))
+            .map(|v| format!("; first: {}", v.desc))
+            .unwrap_or_default()
+    };
+    verdict.check(
+        "quorum_bounds",
+        quorum == 0,
+        format!(
+            "max qs {}/{} fs {}/{} quorums per epoch from t={stable_from}us, \
+             {quorum} violation(s){}",
+            report.max_qs_quorums_per_epoch,
+            replay_cfg.qs_bound(),
+            report.max_fs_quorums_per_epoch,
+            replay_cfg.fs_bound(),
+            first(|d| d.contains("Theorem"))
+        ),
+    );
+    verdict.check(
+        "per_slot_agreement",
+        agreement == 0,
+        format!(
+            "{} slot(s) cross-checked, {agreement} violation(s){}",
+            report.slots_checked,
+            first(|d| d.contains("agreement broken"))
+        ),
+    );
+    verdict.check(
+        "no_crashed_delivery",
+        crashed == 0,
+        format!(
+            "{} record(s) scanned, {crashed} violation(s){}",
+            report.records_checked,
+            first(|d| d.contains("crashed at seq"))
+        ),
+    );
+
+    verdict.metric("expected_ops", expected);
+    verdict.metric("committed_ops", committed);
+    verdict.metric("trace_records", records.len() as u64);
+    verdict.metric("records_checked", report.records_checked);
+    verdict.metric("slots_checked", report.slots_checked);
+    verdict.metric("max_qs_quorums_per_epoch", report.max_qs_quorums_per_epoch);
+    verdict.metric("max_fs_quorums_per_epoch", report.max_fs_quorums_per_epoch);
+    verdict.metric("end_time_us", sim.now().as_micros());
+    verdict.metric("messages_sent", stats.messages_sent);
+    verdict.metric("messages_dropped", stats.messages_dropped);
+    verdict.metric("faults_injected", stats.faults_injected);
+
+    let metrics = standard_metrics(&records);
+    Ok(RunArtifacts {
+        verdict,
+        trace_jsonl,
+        metrics_json: metrics.render_json(),
+        metrics_text: metrics.render_text(),
+    })
+}
+
+/// Compiles the declarative fault list plus geo matrix into a concrete
+/// [`FaultPlan`], restoring geo overrides after every state-replacing
+/// whole-network fault (see the module docs).
+pub fn compile_plan(sc: &Scenario) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    // Install the geo matrix before anything runs.
+    if !sc.links.is_empty() {
+        for (from, to, state) in geo_states(sc, None) {
+            plan.push(SimTime::ZERO, FaultEvent::SetLink { from, to, state });
+        }
+    }
+    // Stable-sort the script by time (insertion order preserved on ties by
+    // FaultPlan::push), appending geo restoration after replacing faults.
+    let mut faults: Vec<&Fault> = sc.faults.iter().collect();
+    faults.sort_by_key(|ft| ft.at_us);
+    for ft in faults {
+        let t = SimTime::from_micros(ft.at_us);
+        let partition_group: Option<Vec<ProcessId>> = match &ft.kind {
+            FaultKind::Partition(group) => {
+                Some(group.iter().map(|p| ProcessId(*p)).collect())
+            }
+            _ => None,
+        };
+        let ev = match &ft.kind {
+            FaultKind::Partition(_) => {
+                FaultEvent::Partition(partition_group.clone().unwrap())
+            }
+            FaultKind::HealAll => FaultEvent::HealAll,
+            FaultKind::Crash(p) => FaultEvent::Crash(ProcessId(*p)),
+            FaultKind::Restart(p) => FaultEvent::Restart(ProcessId(*p)),
+            FaultKind::Pause(p) => FaultEvent::Pause(ProcessId(*p)),
+            FaultKind::Resume(p) => FaultEvent::Resume(ProcessId(*p)),
+            FaultKind::DegradeLink {
+                from,
+                to,
+                extra_us,
+                jitter_us,
+            } => FaultEvent::DegradeLink {
+                from: ProcessId(*from),
+                to: ProcessId(*to),
+                extra_delay: SimDuration::micros(*extra_us),
+                jitter: SimDuration::micros(*jitter_us),
+            },
+            FaultKind::HealLink { from, to } => FaultEvent::HealLink {
+                from: ProcessId(*from),
+                to: ProcessId(*to),
+            },
+            FaultKind::DropLink { from, to } => FaultEvent::SetLink {
+                from: ProcessId(*from),
+                to: ProcessId(*to),
+                state: LinkState {
+                    drop_all: true,
+                    ..LinkState::default()
+                },
+            },
+        };
+        let replaces_links =
+            matches!(ft.kind, FaultKind::Partition(_) | FaultKind::HealAll);
+        plan.push(t, ev);
+        if replaces_links && !sc.links.is_empty() {
+            for (from, to, state) in geo_states(sc, partition_group.as_deref()) {
+                plan.push(t, FaultEvent::SetLink { from, to, state });
+            }
+        }
+    }
+    plan
+}
+
+/// The geo matrix as concrete directed link states. With `partition`
+/// given, links crossing the cut additionally drop everything, matching
+/// what [`qsel_simnet::Simulation::partition`] just installed on them.
+fn geo_states(
+    sc: &Scenario,
+    partition: Option<&[ProcessId]>,
+) -> Vec<(ProcessId, ProcessId, LinkState)> {
+    let mut out = Vec::new();
+    for l in &sc.links {
+        let mut pairs = vec![(ProcessId(l.from), ProcessId(l.to))];
+        if l.symmetric {
+            pairs.push((ProcessId(l.to), ProcessId(l.from)));
+        }
+        for (from, to) in pairs {
+            let crossing = partition
+                .map(|group| group.contains(&from) != group.contains(&to))
+                .unwrap_or(false);
+            out.push((
+                from,
+                to,
+                LinkState {
+                    drop_all: crossing,
+                    delay_override: Some(DelayModel::uniform(
+                        SimDuration::micros(l.min_us),
+                        SimDuration::micros(l.max_us),
+                    )),
+                    ..LinkState::default()
+                },
+            ));
+        }
+    }
+    out
+}

@@ -1,12 +1,14 @@
 //! Ready-made simulation harness: replicas + clients + Byzantine variants.
 
-use qsel_obs::TraceSink;
-use qsel_simnet::{Actor, Context, SimConfig, SimDuration, Simulation, TimerId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use qsel_obs::{TraceEvent, TraceSink};
+use qsel_simnet::{Actor, Context, DelayModel, SimConfig, SimDuration, SimTime, Simulation, TimerId};
 use qsel_types::crypto::{Keychain, Signer};
 use qsel_types::{ClusterConfig, ProcessId};
 
 use crate::client::Client;
-use crate::messages::{Batch, PreparePayload, Request, XpMsg};
+use crate::messages::{Batch, PreparePayload, Reply, Request, XpMsg};
 use crate::replica::{Replica, ReplicaConfig};
 
 /// A participant of an XPaxos simulation.
@@ -21,27 +23,52 @@ pub enum XpActor {
     Replica(Replica),
     /// A client.
     Client(Client),
+    /// An open-loop client that issues requests on a fixed cadence.
+    OpenClient(OpenLoopClient),
     /// A replica that never sends anything.
     Mute,
     /// A Byzantine leader that equivocates on the first request it sees
     /// (sends conflicting PREPAREs to different followers), then goes
     /// quiet.
     Equivocator(Equivocator),
+    /// A gray-failed replica: honest protocol, but every incoming message
+    /// is processed late ([`GrayReplica`]).
+    Gray(GrayReplica),
 }
 
 impl XpActor {
-    /// The wrapped replica, if any.
+    /// The wrapped replica, if any. A [`GrayReplica`] exposes its inner
+    /// honest replica: it runs the unmodified protocol (merely late), so
+    /// its log participates in safety cross-checks.
     pub fn replica(&self) -> Option<&Replica> {
         match self {
             XpActor::Replica(r) => Some(r),
+            XpActor::Gray(g) => Some(&g.inner),
             _ => None,
         }
     }
 
-    /// The wrapped client, if any.
+    /// The wrapped closed-loop client, if any.
     pub fn client(&self) -> Option<&Client> {
         match self {
             XpActor::Client(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The wrapped open-loop client, if any.
+    pub fn open_client(&self) -> Option<&OpenLoopClient> {
+        match self {
+            XpActor::OpenClient(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Operations this actor has committed, if it is any kind of client.
+    pub fn committed_ops(&self) -> Option<u64> {
+        match self {
+            XpActor::Client(c) => Some(c.committed_ops()),
+            XpActor::OpenClient(c) => Some(c.committed_ops()),
             _ => None,
         }
     }
@@ -52,8 +79,10 @@ impl Actor<XpMsg> for XpActor {
         match self {
             XpActor::Replica(r) => r.handle_start(ctx),
             XpActor::Client(c) => c.on_start(ctx),
+            XpActor::OpenClient(c) => c.on_start(ctx),
             XpActor::Mute => {}
             XpActor::Equivocator(_) => {}
+            XpActor::Gray(g) => g.on_start(ctx),
         }
     }
 
@@ -61,8 +90,10 @@ impl Actor<XpMsg> for XpActor {
         match self {
             XpActor::Replica(r) => r.handle_message(ctx, from, msg),
             XpActor::Client(c) => c.on_message(ctx, from, msg),
+            XpActor::OpenClient(c) => c.on_message(ctx, from, msg),
             XpActor::Mute => {}
             XpActor::Equivocator(e) => e.on_message(ctx, msg),
+            XpActor::Gray(g) => g.on_message(ctx, from, msg),
         }
     }
 
@@ -70,8 +101,10 @@ impl Actor<XpMsg> for XpActor {
         match self {
             XpActor::Replica(r) => r.handle_timer(ctx, timer),
             XpActor::Client(c) => c.on_timer(ctx, timer),
+            XpActor::OpenClient(c) => c.on_timer(ctx, timer),
             XpActor::Mute => {}
             XpActor::Equivocator(_) => {}
+            XpActor::Gray(g) => g.on_timer(ctx, timer),
         }
     }
 
@@ -79,8 +112,208 @@ impl Actor<XpMsg> for XpActor {
         match self {
             XpActor::Replica(r) => r.handle_recover(ctx),
             XpActor::Client(c) => c.on_recover(ctx),
+            XpActor::OpenClient(c) => c.on_recover(ctx),
             XpActor::Mute => {}
             XpActor::Equivocator(_) => {}
+            XpActor::Gray(g) => g.on_recover(ctx),
+        }
+    }
+}
+
+/// Deferred-delivery timer used by [`GrayReplica`]. The inner replica's
+/// own timers are `TimerId(1..=4)` and `TimerId(1000..)` (view-change
+/// generation tags), so 900 is free.
+const TIMER_GRAY: TimerId = TimerId(900);
+
+/// A gray-failed replica: it runs the honest protocol on unmodified state,
+/// but every incoming message is buffered and handled `delay` after
+/// arrival. Timer-driven behaviour (heartbeats, detector polls) stays
+/// prompt — the process looks alive to naive liveness probes while its
+/// request processing crawls. This is the "slow but not silent" leader of
+/// the gray-failure literature, and the misbehaviour is *not* expressible
+/// as a link fault: outbound traffic the replica originates on timers is
+/// unaffected, only its reaction to peers lags.
+#[derive(Debug)]
+pub struct GrayReplica {
+    inner: Replica,
+    delay: SimDuration,
+    buf: VecDeque<(ProcessId, XpMsg)>,
+}
+
+impl GrayReplica {
+    /// Wraps `inner`, delaying each incoming message by `delay`.
+    pub fn new(inner: Replica, delay: SimDuration) -> Self {
+        GrayReplica {
+            inner,
+            delay,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// The wrapped honest replica.
+    pub fn inner(&self) -> &Replica {
+        &self.inner
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        self.inner.handle_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, XpMsg>, from: ProcessId, msg: XpMsg) {
+        self.buf.push_back((from, msg));
+        ctx.set_timer(self.delay, TIMER_GRAY);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, XpMsg>, timer: TimerId) {
+        if timer == TIMER_GRAY {
+            if let Some((from, msg)) = self.buf.pop_front() {
+                self.inner.handle_message(ctx, from, msg);
+            }
+        } else {
+            self.inner.handle_timer(ctx, timer);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        // Deferred messages and their timers died with the crash.
+        self.buf.clear();
+        self.inner.handle_recover(ctx);
+    }
+}
+
+/// Pacing timer of [`OpenLoopClient`]; its only other timers never exist.
+const TIMER_PACE: TimerId = TimerId(1);
+
+/// An open-loop client: issues one request every `interarrival` regardless
+/// of whether earlier requests completed, up to `max_ops` total. There are
+/// no retransmissions — a request lost to faults simply never commits —
+/// so sustained overload or partitions show up as a commit-fraction drop
+/// rather than a latency explosion, which is what open-loop workloads
+/// (flash crowds) are for.
+#[derive(Debug)]
+pub struct OpenLoopClient {
+    me: ProcessId,
+    cluster: ClusterConfig,
+    interarrival: SimDuration,
+    max_ops: u64,
+    issued: u64,
+    sent_at: BTreeMap<u64, SimTime>,
+    /// Matching replies per in-flight op: op → result → replicas.
+    tally: BTreeMap<u64, BTreeMap<u64, Vec<ProcessId>>>,
+    done: BTreeSet<u64>,
+    /// (op, result, latency) for every completed operation.
+    pub completed: Vec<(u64, u64, SimDuration)>,
+    trace: TraceSink,
+}
+
+impl OpenLoopClient {
+    /// An open-loop client with id `me` (outside the replica id range)
+    /// issuing `max_ops` operations one `interarrival` apart.
+    pub fn new(
+        me: ProcessId,
+        cluster: ClusterConfig,
+        interarrival: SimDuration,
+        max_ops: u64,
+    ) -> Self {
+        assert!(
+            me.0 > cluster.n(),
+            "client ids must lie above the replica range"
+        );
+        OpenLoopClient {
+            me,
+            cluster,
+            interarrival,
+            max_ops,
+            issued: 0,
+            sent_at: BTreeMap::new(),
+            tally: BTreeMap::new(),
+            done: BTreeSet::new(),
+            completed: Vec::new(),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Installs a trace sink (typically a clone of the simulation's).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Completed operation count.
+    pub fn committed_ops(&self) -> u64 {
+        self.completed.len() as u64
+    }
+
+    /// Operations issued so far.
+    pub fn issued_ops(&self) -> u64 {
+        self.issued
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        let op = self.issued;
+        self.issued += 1;
+        self.sent_at.insert(op, ctx.now());
+        let req = Request {
+            client: self.me,
+            op,
+            payload: op * 31 + u64::from(self.me.0),
+        };
+        for r in self.cluster.processes() {
+            ctx.send(r, XpMsg::Request(req.clone()));
+        }
+        if self.issued < self.max_ops {
+            ctx.set_timer(self.interarrival, TIMER_PACE);
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Context<'_, XpMsg>, from: ProcessId, reply: Reply) {
+        if reply.op >= self.issued || self.done.contains(&reply.op) {
+            return; // unknown or already completed
+        }
+        let entry = self
+            .tally
+            .entry(reply.op)
+            .or_default()
+            .entry(reply.result)
+            .or_default();
+        if !entry.contains(&from) {
+            entry.push(from);
+        }
+        if entry.len() as u32 > self.cluster.f() {
+            let sent = self.sent_at.remove(&reply.op).unwrap_or(ctx.now());
+            let latency = ctx.now() - sent;
+            self.tally.remove(&reply.op);
+            self.done.insert(reply.op);
+            self.completed.push((reply.op, reply.result, latency));
+            self.trace.emit(|| TraceEvent::ClientCommit {
+                client: self.me.0,
+                op: reply.op,
+                latency_us: latency.as_micros(),
+            });
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        if self.max_ops > 0 {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, XpMsg>, from: ProcessId, msg: XpMsg) {
+        if let XpMsg::Reply(r) = msg {
+            self.on_reply(ctx, from, r);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, XpMsg>, timer: TimerId) {
+        if timer == TIMER_PACE && self.issued < self.max_ops {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, XpMsg>) {
+        // The pacing timer died with the process; resume the cadence.
+        if self.issued < self.max_ops {
+            ctx.set_timer(self.interarrival, TIMER_PACE);
         }
     }
 }
@@ -147,6 +380,8 @@ pub struct ClusterBuilder {
     seed: u64,
     retry: SimDuration,
     tx_cost: SimDuration,
+    delay: Option<DelayModel>,
+    open_interarrival: Option<SimDuration>,
     trace: TraceSink,
 }
 
@@ -161,6 +396,8 @@ impl ClusterBuilder {
             seed,
             retry: SimDuration::millis(20),
             tx_cost: SimDuration::ZERO,
+            delay: None,
+            open_interarrival: None,
             trace: TraceSink::disabled(),
         }
     }
@@ -196,6 +433,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the network's base delay model (default: the simulator's
+    /// uniform 50–150µs). Per-link overrides installed later via
+    /// [`Simulation::set_link`] still take precedence.
+    #[must_use]
+    pub fn delay_model(mut self, delay: DelayModel) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Switches the built clients from closed-loop (retrying) [`Client`]s
+    /// to open-loop [`OpenLoopClient`]s issuing one request every
+    /// `interarrival`; the per-client operation budget from
+    /// [`ClusterBuilder::clients`] still applies.
+    #[must_use]
+    pub fn open_loop(mut self, interarrival: SimDuration) -> Self {
+        self.open_interarrival = Some(interarrival);
+        self
+    }
+
     /// Installs a trace sink: the simulation and every built replica
     /// (including its failure detector and quorum-selection module) and
     /// client get clones sharing one buffer and ambient clock. Custom
@@ -226,21 +482,34 @@ impl ClusterBuilder {
             let mut actor = make_replica(p, &chain).unwrap_or_else(|| {
                 XpActor::Replica(Replica::new(self.cfg, p, &chain, self.rcfg.clone()))
             });
-            if let XpActor::Replica(r) = &mut actor {
-                r.set_trace_sink(self.trace.clone());
+            match &mut actor {
+                XpActor::Replica(r) => r.set_trace_sink(self.trace.clone()),
+                XpActor::Gray(g) => g.inner.set_trace_sink(self.trace.clone()),
+                _ => {}
             }
             actors.push(actor);
         }
         for c in 0..self.clients {
             let id = ProcessId(self.cfg.n() + c + 1);
-            let mut client = Client::new(id, self.cfg, self.retry, self.ops_per_client);
-            client.set_trace_sink(self.trace.clone());
-            actors.push(XpActor::Client(client));
+            match self.open_interarrival {
+                Some(interarrival) => {
+                    let mut client =
+                        OpenLoopClient::new(id, self.cfg, interarrival, self.ops_per_client);
+                    client.set_trace_sink(self.trace.clone());
+                    actors.push(XpActor::OpenClient(client));
+                }
+                None => {
+                    let mut client = Client::new(id, self.cfg, self.retry, self.ops_per_client);
+                    client.set_trace_sink(self.trace.clone());
+                    actors.push(XpActor::Client(client));
+                }
+            }
         }
-        let mut sim = Simulation::new(
-            SimConfig::new(total, self.seed).with_tx_cost(self.tx_cost),
-            actors,
-        );
+        let mut scfg = SimConfig::new(total, self.seed).with_tx_cost(self.tx_cost);
+        if let Some(delay) = self.delay {
+            scfg = scfg.with_delay(delay);
+        }
+        let mut sim = Simulation::new(scfg, actors);
         sim.set_classifier(|m: &XpMsg| m.kind());
         sim.set_trace_sink(self.trace);
         sim
@@ -285,11 +554,11 @@ pub fn assert_safety(sim: &Simulation<XpMsg, XpActor>) {
     }
 }
 
-/// Total operations committed across all clients.
+/// Total operations committed across all clients (both loop modes).
 pub fn total_committed(sim: &Simulation<XpMsg, XpActor>) -> u64 {
     sim.ids()
         .collect::<Vec<_>>()
         .into_iter()
-        .filter_map(|id| sim.actor(id).client().map(|c| c.committed_ops()))
+        .filter_map(|id| sim.actor(id).committed_ops())
         .sum()
 }

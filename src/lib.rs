@@ -16,6 +16,7 @@
 //! | [`qsel_pbft`] | PBFT-style all-to-all baseline for the message-count claim |
 //! | [`qsel_adversary`] | Theorem 3/4/9 adversary games and Byzantine actors |
 //! | [`qsel_obs`] | deterministic tracing, metrics, offline trace-replay bound checks |
+//! | [`qsel_scenario`] | declarative scenario DSL + deterministic runner with verdicts |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -30,6 +31,7 @@ pub use qsel_detector;
 pub use qsel_graph;
 pub use qsel_obs;
 pub use qsel_pbft;
+pub use qsel_scenario;
 pub use qsel_simnet;
 pub use qsel_types;
 pub use qsel_xpaxos;
