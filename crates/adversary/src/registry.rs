@@ -41,11 +41,17 @@ pub enum Strategy {
         /// Added processing delay per incoming message, in microseconds.
         delay_us: u64,
     },
+    /// The controlled process runs the honest protocol but tampers with
+    /// every state-transfer chunk it serves (flipping batch contents while
+    /// keeping the claimed slots and proofs). A recovering replica must
+    /// reject the chunks by MMR verification and fail over to another
+    /// donor (qsel-lint S1: verify before use).
+    CorruptTransfer,
 }
 
 impl Strategy {
     /// Every registered strategy name, for error messages and docs.
-    pub const NAMES: [&'static str; 4] = ["none", "mute", "equivocate", "gray"];
+    pub const NAMES: [&'static str; 5] = ["none", "mute", "equivocate", "gray", "corrupt-transfer"];
 
     /// The registry name of this strategy.
     pub fn name(&self) -> &'static str {
@@ -54,6 +60,7 @@ impl Strategy {
             Strategy::Mute => "mute",
             Strategy::Equivocate => "equivocate",
             Strategy::Gray { .. } => "gray",
+            Strategy::CorruptTransfer => "corrupt-transfer",
         }
     }
 
@@ -71,7 +78,8 @@ impl Strategy {
             ("equivocate", None) => Ok(Strategy::Equivocate),
             ("gray", Some(delay_us)) => Ok(Strategy::Gray { delay_us }),
             ("gray", None) => Err("strategy \"gray\" requires delay_us".to_string()),
-            ("none" | "mute" | "equivocate", Some(_)) => {
+            ("corrupt-transfer", None) => Ok(Strategy::CorruptTransfer),
+            ("none" | "mute" | "equivocate" | "corrupt-transfer", Some(_)) => {
                 Err(format!("strategy \"{name}\" takes no delay_us"))
             }
             (other, _) => Err(format!(
@@ -113,11 +121,16 @@ mod tests {
             Strategy::from_name("gray", Some(2_000)),
             Ok(Strategy::Gray { delay_us: 2_000 })
         );
+        assert_eq!(
+            Strategy::from_name("corrupt-transfer", None),
+            Ok(Strategy::CorruptTransfer)
+        );
         for s in [
             Strategy::None,
             Strategy::Mute,
             Strategy::Equivocate,
             Strategy::Gray { delay_us: 1 },
+            Strategy::CorruptTransfer,
         ] {
             assert!(Strategy::NAMES.contains(&s.name()));
         }
@@ -134,6 +147,7 @@ mod tests {
     fn parameter_mismatches_are_rejected() {
         assert!(Strategy::from_name("gray", None).is_err());
         assert!(Strategy::from_name("mute", Some(5)).is_err());
+        assert!(Strategy::from_name("corrupt-transfer", Some(5)).is_err());
     }
 
     #[test]
@@ -142,5 +156,6 @@ mod tests {
         assert!(Strategy::Mute.controls_a_process());
         assert!(Strategy::Equivocate.controls_a_process());
         assert!(Strategy::Gray { delay_us: 1 }.controls_a_process());
+        assert!(Strategy::CorruptTransfer.controls_a_process());
     }
 }

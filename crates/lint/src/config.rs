@@ -40,12 +40,12 @@ impl Default for LintConfig {
             // or stats of a seeded simulation. The scenario layer compiles
             // specs into fault plans and actor placements, so its iteration
             // order reaches the trace too.
-            d1_crates: v(&["core", "xpaxos", "pbft", "detector", "simnet", "scenario"]),
+            d1_crates: v(&["core", "xpaxos", "pbft", "detector", "simnet", "scenario", "mmr"]),
             d2_exempt_crates: v(&["bench", "criterion"]),
             d3_exempt_crates: v(&["rand"]),
             // Crates that handle signed protocol messages.
             s1_crates: v(&["core", "xpaxos", "pbft", "detector"]),
-            s2_crates: v(&["core", "xpaxos", "pbft", "detector"]),
+            s2_crates: v(&["core", "xpaxos", "pbft", "detector", "mmr"]),
             h1_exempt: Vec::new(),
         }
     }

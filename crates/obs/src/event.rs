@@ -206,6 +206,58 @@ pub enum TraceEvent {
         /// The back-off interval in force, in simulated microseconds.
         interval_us: u64,
     },
+    /// A replica collected `f+1` matching checkpoint signatures. The
+    /// digest is compared across replicas: two stable checkpoints at the
+    /// same slot must certify the same payload.
+    CheckpointStable {
+        /// The replica.
+        p: u32,
+        /// The checkpointed executed-prefix length.
+        slot: u64,
+        /// First 8 bytes of the certified payload's SHA-256 digest.
+        digest: u64,
+    },
+    /// A replica garbage-collected its log below a stable checkpoint.
+    LogGc {
+        /// The replica.
+        p: u32,
+        /// The GC bound: every live slot below it was compacted.
+        below: u64,
+        /// Live log length after collection (the bounded quantity).
+        len: u64,
+    },
+    /// A recovering replica chose a donor and began fetching.
+    StateTransferStart {
+        /// The recovering replica.
+        p: u32,
+        /// Its executed-prefix length at the start.
+        from: u64,
+        /// The frontier it is catching up to.
+        to: u64,
+        /// `"compact"` (MMR-authenticated batches), `"jump"` (checkpoint
+        /// install), or `"replay"` (certified entries, no checkpoint).
+        mode: String,
+    },
+    /// A recovering replica finished state transfer.
+    StateTransferDone {
+        /// The recovered replica.
+        p: u32,
+        /// Its executed-prefix length at completion.
+        slot: u64,
+        /// First 8 bytes of its *recomputed* checkpoint-payload digest at
+        /// `slot` — must match any `CheckpointStable` digest at that slot.
+        digest: u64,
+    },
+    /// A recovering replica rejected a transfer chunk (failed inclusion
+    /// proof, wrong range, or non-contiguous slots) and switched donors.
+    SyncChunkRejected {
+        /// The recovering replica.
+        p: u32,
+        /// The donor whose chunk failed verification.
+        from: u32,
+        /// The first slot the rejected chunk claimed to cover.
+        slot: u64,
+    },
 }
 
 impl TraceEvent {
@@ -237,6 +289,11 @@ impl TraceEvent {
             TraceEvent::Executed { .. } => "executed",
             TraceEvent::ClientCommit { .. } => "client_commit",
             TraceEvent::ClientRetry { .. } => "client_retry",
+            TraceEvent::CheckpointStable { .. } => "checkpoint_stable",
+            TraceEvent::LogGc { .. } => "log_gc",
+            TraceEvent::StateTransferStart { .. } => "state_transfer_start",
+            TraceEvent::StateTransferDone { .. } => "state_transfer_done",
+            TraceEvent::SyncChunkRejected { .. } => "sync_chunk_rejected",
         }
     }
 }
@@ -399,6 +456,28 @@ impl TraceRecord {
                 push_u64_field(out, "client", u64::from(*client));
                 push_u64_field(out, "op", *op);
                 push_u64_field(out, "interval_us", *interval_us);
+            }
+            TraceEvent::CheckpointStable { p, slot, digest }
+            | TraceEvent::StateTransferDone { p, slot, digest } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+                push_u64_field(out, "digest", *digest);
+            }
+            TraceEvent::LogGc { p, below, len } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "below", *below);
+                push_u64_field(out, "len", *len);
+            }
+            TraceEvent::StateTransferStart { p, from, to, mode } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "from", *from);
+                push_u64_field(out, "to", *to);
+                push_str_field(out, "mode", mode);
+            }
+            TraceEvent::SyncChunkRejected { p, from, slot } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "from", u64::from(*from));
+                push_u64_field(out, "slot", *slot);
             }
         }
         out.push_str("}\n");

@@ -20,6 +20,17 @@
 //! 3. **No delivery to a crashed incarnation** — between a `crash` of
 //!    process *p* and its next `restart`, no `msg_deliver` (or
 //!    `timer_fired`) may target *p*.
+//! 4. **Checkpoint agreement** — every `checkpoint_stable` event for one
+//!    slot must carry the same payload digest across replicas: correct
+//!    replicas executing the same prefix compute byte-identical
+//!    checkpoint payloads.
+//! 5. **State-transfer integrity** — a `state_transfer_done` digest must
+//!    match every `checkpoint_stable` digest at the same slot (in either
+//!    trace order): the recovered replica recomputed the certified state.
+//! 6. **GC floor** — after a process emits `log_gc` with bound *b*, none
+//!    of its later `decided`/`executed`/`batch_committed` events may
+//!    reference a slot below *b* (nothing references a
+//!    garbage-collected slot).
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -382,6 +393,32 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
                 op: u64_field(&fields, "op", line_no)?,
                 interval_us: u64_field(&fields, "interval_us", line_no)?,
             },
+            "checkpoint_stable" => TraceEvent::CheckpointStable {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                digest: u64_field(&fields, "digest", line_no)?,
+            },
+            "log_gc" => TraceEvent::LogGc {
+                p: u32_field(&fields, "p", line_no)?,
+                below: u64_field(&fields, "below", line_no)?,
+                len: u64_field(&fields, "len", line_no)?,
+            },
+            "state_transfer_start" => TraceEvent::StateTransferStart {
+                p: u32_field(&fields, "p", line_no)?,
+                from: u64_field(&fields, "from", line_no)?,
+                to: u64_field(&fields, "to", line_no)?,
+                mode: str_field(&fields, "mode", line_no)?,
+            },
+            "state_transfer_done" => TraceEvent::StateTransferDone {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                digest: u64_field(&fields, "digest", line_no)?,
+            },
+            "sync_chunk_rejected" => TraceEvent::SyncChunkRejected {
+                p: u32_field(&fields, "p", line_no)?,
+                from: u32_field(&fields, "from", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+            },
             other => return Err(format!("line {line_no}: unknown event \"{other}\"")),
         };
         records.push(TraceRecord { seq, t, event });
@@ -514,6 +551,28 @@ pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
     let mut slot_batch_digest: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new();
     // Check 3 state: processes currently down (crashed, not yet restarted).
     let mut down: HashMap<u32, u64> = HashMap::new();
+    // Check 4/5 state: slot -> (digest, first process, first seq) from
+    // `checkpoint_stable`, and slot -> completed-transfer digests.
+    let mut ckpt_digest: BTreeMap<u64, (u64, u32, u64)> = BTreeMap::new();
+    let mut transfer_done: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+    // Check 6 state: per-process GC floor from `log_gc` events.
+    let mut gc_floor: HashMap<u32, u64> = HashMap::new();
+
+    let check_floor =
+        |report: &mut ReplayReport, gc_floor: &HashMap<u32, u64>, r: &TraceRecord, p: u32, slot: u64, what: &str| {
+            if let Some(floor) = gc_floor.get(&p) {
+                if slot < *floor {
+                    report.violations.push(Violation {
+                        seq: r.seq,
+                        t: r.t,
+                        desc: format!(
+                            "process {p} {what} references garbage-collected slot {slot} \
+                             below its GC floor {floor}"
+                        ),
+                    });
+                }
+            }
+        };
 
     for r in records {
         match &r.event {
@@ -550,6 +609,7 @@ pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
                 }
             }
             TraceEvent::Executed { p, slot, digest } => {
+                check_floor(&mut report, &gc_floor, r, *p, *slot, "executed");
                 let (ref_p, seq) = slot_exec.entry(*slot).or_insert_with(|| (*p, Vec::new()));
                 let cursor = exec_cursor.entry((*p, *slot)).or_insert(0);
                 if *ref_p == *p {
@@ -579,7 +639,67 @@ pub fn analyze(records: &[TraceRecord], cfg: &ReplayConfig) -> ReplayReport {
                 }
                 *cursor += 1;
             }
+            TraceEvent::Decided { p, slot } => {
+                check_floor(&mut report, &gc_floor, r, *p, *slot, "decided");
+            }
+            TraceEvent::CheckpointStable { p, slot, digest } => {
+                match ckpt_digest.get(slot) {
+                    None => {
+                        ckpt_digest.insert(*slot, (*digest, *p, r.seq));
+                    }
+                    Some((d0, p0, seq0)) if d0 != digest => {
+                        report.violations.push(Violation {
+                            seq: r.seq,
+                            t: r.t,
+                            desc: format!(
+                                "checkpoint divergence at slot {slot}: process {p} certified \
+                                 digest {digest:#018x} but process {p0} certified {d0:#018x} \
+                                 (seq {seq0})"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+                // A transfer completed at this slot earlier in the trace
+                // must have recomputed this same digest.
+                if let Some(done) = transfer_done.get(slot) {
+                    for (d, dp) in done {
+                        if d != digest {
+                            report.violations.push(Violation {
+                                seq: r.seq,
+                                t: r.t,
+                                desc: format!(
+                                    "state transfer divergence at slot {slot}: process {dp} \
+                                     recovered digest {d:#018x} but process {p} certified \
+                                     {digest:#018x}"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            TraceEvent::StateTransferDone { p, slot, digest } => {
+                if let Some((d0, p0, _)) = ckpt_digest.get(slot) {
+                    if d0 != digest {
+                        report.violations.push(Violation {
+                            seq: r.seq,
+                            t: r.t,
+                            desc: format!(
+                                "state transfer divergence at slot {slot}: process {p} \
+                                 recovered digest {digest:#018x} but process {p0} certified \
+                                 {d0:#018x}"
+                            ),
+                        });
+                    }
+                }
+                transfer_done.entry(*slot).or_default().push((*digest, *p));
+            }
+            TraceEvent::LogGc { p, below, .. } => {
+                let floor = gc_floor.entry(*p).or_insert(0);
+                *floor = (*floor).max(*below);
+            }
             TraceEvent::BatchCommitted { p, slot, digest, .. } => {
+                check_floor(&mut report, &gc_floor, r, *p, *slot, "batch_committed");
                 match slot_batch_digest.get(slot) {
                     None => {
                         slot_batch_digest.insert(*slot, (*digest, *p, r.seq));
@@ -733,6 +853,32 @@ mod tests {
                 client: 10,
                 op: 8,
                 interval_us: 4000,
+            },
+            TraceEvent::CheckpointStable {
+                p: 2,
+                slot: 750,
+                digest: 0xFEED,
+            },
+            TraceEvent::LogGc {
+                p: 2,
+                below: 750,
+                len: 12,
+            },
+            TraceEvent::StateTransferStart {
+                p: 4,
+                from: 250,
+                to: 9_800,
+                mode: "compact".into(),
+            },
+            TraceEvent::StateTransferDone {
+                p: 4,
+                slot: 9_800,
+                digest: 0xFEED,
+            },
+            TraceEvent::SyncChunkRejected {
+                p: 4,
+                from: 1,
+                slot: 300,
             },
         ];
         let records: Vec<TraceRecord> = events

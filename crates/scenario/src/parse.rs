@@ -209,7 +209,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
                 .ok_or_else(|| format!("line {line_no}: malformed section header {line:?}"))?
                 .trim();
             flush(&mut pending, &mut sc)?;
-            let known = ["cluster", "workload", "batch", "adversary", "run"];
+            let known = ["cluster", "workload", "batch", "checkpoint", "adversary", "run"];
             let section = *known.iter().find(|k| **k == name).ok_or_else(|| {
                 format!(
                     "line {line_no}: unknown section [{name}] (known: {}, \
@@ -361,6 +361,14 @@ fn finish_single(section: &'static str, mut f: Fields, sc: &mut Scenario) -> Res
             }
             if let Some(v) = f.take_int("pipeline_depth")? {
                 sc.batch.pipeline_depth = v;
+            }
+        }
+        "checkpoint" => {
+            if let Some(v) = f.take_int("interval")? {
+                sc.checkpoint.interval = v;
+            }
+            if let Some(v) = f.take_int("archive_retain")? {
+                sc.checkpoint.archive_retain = v;
             }
         }
         "adversary" => {

@@ -25,9 +25,9 @@ use qsel_obs::{ReplayConfig, TraceSink, Verdict};
 use qsel_simnet::{DelayModel, FaultEvent, FaultPlan, LinkState, SimDuration, SimTime};
 use qsel_types::{ClusterConfig, ProcessId};
 use qsel_xpaxos::harness::{
-    total_committed, ClusterBuilder, Equivocator, GrayReplica, XpActor,
+    total_committed, ClusterBuilder, CorruptTransferPeer, Equivocator, GrayReplica, XpActor,
 };
-use qsel_xpaxos::{BatchPolicy, QuorumPolicy, Replica, ReplicaConfig};
+use qsel_xpaxos::{BatchPolicy, CheckpointPolicy, QuorumPolicy, Replica, ReplicaConfig};
 
 use crate::spec::{Algorithm, Fault, FaultKind, Scenario, WorkloadMode};
 
@@ -70,6 +70,7 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Result<RunArtifacts, String> {
             SimDuration::micros(sc.batch.max_delay_us),
             usize::try_from(sc.batch.pipeline_depth).unwrap_or(usize::MAX),
         ),
+        checkpoint: CheckpointPolicy::new(sc.checkpoint.interval, sc.checkpoint.archive_retain),
         ..ReplicaConfig::default()
     };
 
@@ -99,6 +100,9 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Result<RunArtifacts, String> {
                 Replica::new(cfg, p, chain, rcfg.clone()),
                 SimDuration::micros(delay_us),
             ))),
+            Strategy::CorruptTransfer => Some(XpActor::CorruptTransfer(
+                CorruptTransferPeer::new(Replica::new(cfg, p, chain, rcfg.clone())),
+            )),
         }
     });
     sim.schedule_plan(plan);
@@ -117,6 +121,33 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Result<RunArtifacts, String> {
     sim.run_until(SimTime::from_micros(base_us));
     while total_committed(&sim) < expected && sim.now().as_micros() < deadline_us {
         let next = (sim.now().as_micros() + 250_000).min(deadline_us);
+        sim.run_until(SimTime::from_micros(next));
+    }
+    // Commit completion is not quiescence: a fault scheduled at (or near)
+    // the moment the workload finishes — e.g. lazarus-replica's restart —
+    // still deserves to be observed, and laggards must be given time to
+    // converge through lazy replication or checkpointed state transfer.
+    // Keep running in slices until every live honest replica (crashed
+    // actors and Byzantine strategy actors excluded; gray/corrupt
+    // wrappers expose their honest inner log) reports the same watermark,
+    // or the settle deadline hits.
+    let converged = |sim: &qsel_simnet::Simulation<qsel_xpaxos::messages::XpMsg, XpActor>| {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for p in cfg.processes() {
+            if sim.is_crashed(p) {
+                continue;
+            }
+            if let Some(r) = sim.actor(p).replica() {
+                let w = r.log().watermark();
+                lo = lo.min(w);
+                hi = hi.max(w);
+            }
+        }
+        lo >= hi
+    };
+    while !converged(&sim) && sim.now().as_micros() < deadline_us {
+        let next = (sim.now().as_micros() + 100_000).min(deadline_us);
         sim.run_until(SimTime::from_micros(next));
     }
 
@@ -216,6 +247,45 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Result<RunArtifacts, String> {
             "{} record(s) scanned, {crashed} violation(s){}",
             report.records_checked,
             first(|d| d.contains("crashed at seq"))
+        ),
+    );
+    let ckpt_div = report
+        .violations
+        .iter()
+        .filter(|v| v.desc.contains("checkpoint divergence"))
+        .count();
+    let transfer_div = report
+        .violations
+        .iter()
+        .filter(|v| v.desc.contains("state transfer divergence"))
+        .count();
+    let gc_floor = report
+        .violations
+        .iter()
+        .filter(|v| v.desc.contains("references garbage-collected slot"))
+        .count();
+    verdict.check(
+        "checkpoint_agreement",
+        ckpt_div == 0,
+        format!(
+            "{ckpt_div} divergent checkpoint certificate(s){}",
+            first(|d| d.contains("checkpoint divergence"))
+        ),
+    );
+    verdict.check(
+        "state_transfer_integrity",
+        transfer_div == 0,
+        format!(
+            "{transfer_div} recovered-state mismatch(es){}",
+            first(|d| d.contains("state transfer divergence"))
+        ),
+    );
+    verdict.check(
+        "gc_floor",
+        gc_floor == 0,
+        format!(
+            "{gc_floor} access(es) below a garbage-collected floor{}",
+            first(|d| d.contains("references garbage-collected slot"))
         ),
     );
 

@@ -149,6 +149,19 @@ impl Default for BatchSpec {
     }
 }
 
+/// `[checkpoint]` — signed checkpoints, log compaction, and incremental
+/// state transfer ([`qsel_xpaxos::CheckpointPolicy`]). The default
+/// interval of 0 disables the subsystem, preserving the pre-checkpoint
+/// protocol (and its golden traces) exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CheckpointSpec {
+    /// Checkpoint period in slots (0 disables checkpointing).
+    pub interval: u64,
+    /// Compacted batches kept resident below the stable checkpoint for
+    /// serving compact (MMR-proved) state transfer.
+    pub archive_retain: u64,
+}
+
 /// `[adversary]` — the Byzantine strategy and its placement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Adversary {
@@ -291,6 +304,8 @@ pub struct Scenario {
     pub workload: Workload,
     /// `[batch]`.
     pub batch: BatchSpec,
+    /// `[checkpoint]`.
+    pub checkpoint: CheckpointSpec,
     /// `[adversary]`.
     pub adversary: Adversary,
     /// `[[link]]` entries, in file order.
@@ -397,6 +412,10 @@ impl Scenario {
         let _ = writeln!(out, "max_size = {}", self.batch.max_size);
         let _ = writeln!(out, "max_delay_us = {}", self.batch.max_delay_us);
         let _ = writeln!(out, "pipeline_depth = {}", self.batch.pipeline_depth);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[checkpoint]");
+        let _ = writeln!(out, "interval = {}", self.checkpoint.interval);
+        let _ = writeln!(out, "archive_retain = {}", self.checkpoint.archive_retain);
         let _ = writeln!(out);
         let _ = writeln!(out, "[adversary]");
         let _ = writeln!(out, "strategy = \"{}\"", self.adversary.strategy.name());

@@ -13,8 +13,8 @@ use proptest::prelude::*;
 
 use qsel_adversary::registry::Strategy as AdvStrategy;
 use qsel_scenario::{
-    parse, Adversary, Algorithm, BatchSpec, Cluster, Fault, FaultKind, GeoLink, RunSpec, Scenario,
-    Workload, WorkloadMode,
+    parse, Adversary, Algorithm, BatchSpec, CheckpointSpec, Cluster, Fault, FaultKind, GeoLink,
+    RunSpec, Scenario, Workload, WorkloadMode,
 };
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -150,18 +150,31 @@ fn arb_run() -> impl Strategy<Value = RunSpec> {
         })
 }
 
+fn arb_checkpoint() -> impl Strategy<Value = CheckpointSpec> {
+    (0u64..=1_000, 0u64..=100_000)
+        .prop_map(|(interval, archive_retain)| CheckpointSpec {
+            interval,
+            archive_retain,
+        })
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         (arb_name(), arb_cluster(), arb_workload()),
-        (arb_batch(), arb_adversary(), arb_run()),
+        (arb_batch(), arb_checkpoint(), arb_adversary(), arb_run()),
         (vec(arb_link(), 0..=4), vec(arb_fault(), 0..=6)),
     )
         .prop_map(
-            |((name, cluster, workload), (batch, adversary, run), (links, faults))| Scenario {
+            |(
+                (name, cluster, workload),
+                (batch, checkpoint, adversary, run),
+                (links, faults),
+            )| Scenario {
                 name,
                 cluster,
                 workload,
                 batch,
+                checkpoint,
                 adversary,
                 links,
                 faults,

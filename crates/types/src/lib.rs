@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 pub mod crypto;
 pub mod encode;
 mod epoch;
@@ -37,6 +38,7 @@ mod error;
 mod id;
 mod quorum;
 
+pub use checkpoint::CheckpointPayload;
 pub use crypto::Signed;
 pub use epoch::Epoch;
 pub use error::{ConfigError, QuorumError};

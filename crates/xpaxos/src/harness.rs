@@ -8,7 +8,7 @@ use qsel_types::crypto::{Keychain, Signer};
 use qsel_types::{ClusterConfig, ProcessId};
 
 use crate::client::Client;
-use crate::messages::{Batch, PreparePayload, Reply, Request, XpMsg};
+use crate::messages::{Batch, CompactEntry, PreparePayload, Reply, Request, XpMsg};
 use crate::replica::{Replica, ReplicaConfig};
 
 /// A participant of an XPaxos simulation.
@@ -34,6 +34,9 @@ pub enum XpActor {
     /// A gray-failed replica: honest protocol, but every incoming message
     /// is processed late ([`GrayReplica`]).
     Gray(GrayReplica),
+    /// A Byzantine state-transfer donor: honest protocol, but every chunk
+    /// it serves is tampered with ([`CorruptTransferPeer`]).
+    CorruptTransfer(CorruptTransferPeer),
 }
 
 impl XpActor {
@@ -44,6 +47,10 @@ impl XpActor {
         match self {
             XpActor::Replica(r) => Some(r),
             XpActor::Gray(g) => Some(&g.inner),
+            // Its local log runs the honest protocol (only the chunks it
+            // serves are forged on the way out), so it participates in
+            // safety cross-checks too.
+            XpActor::CorruptTransfer(c) => Some(&c.inner),
             _ => None,
         }
     }
@@ -83,6 +90,7 @@ impl Actor<XpMsg> for XpActor {
             XpActor::Mute => {}
             XpActor::Equivocator(_) => {}
             XpActor::Gray(g) => g.on_start(ctx),
+            XpActor::CorruptTransfer(c) => c.inner.handle_start(ctx),
         }
     }
 
@@ -94,6 +102,7 @@ impl Actor<XpMsg> for XpActor {
             XpActor::Mute => {}
             XpActor::Equivocator(e) => e.on_message(ctx, msg),
             XpActor::Gray(g) => g.on_message(ctx, from, msg),
+            XpActor::CorruptTransfer(c) => c.on_message(ctx, from, msg),
         }
     }
 
@@ -105,6 +114,7 @@ impl Actor<XpMsg> for XpActor {
             XpActor::Mute => {}
             XpActor::Equivocator(_) => {}
             XpActor::Gray(g) => g.on_timer(ctx, timer),
+            XpActor::CorruptTransfer(c) => c.inner.handle_timer(ctx, timer),
         }
     }
 
@@ -116,6 +126,7 @@ impl Actor<XpMsg> for XpActor {
             XpActor::Mute => {}
             XpActor::Equivocator(_) => {}
             XpActor::Gray(g) => g.on_recover(ctx),
+            XpActor::CorruptTransfer(c) => c.inner.handle_recover(ctx),
         }
     }
 }
@@ -178,6 +189,73 @@ impl GrayReplica {
         // Deferred messages and their timers died with the crash.
         self.buf.clear();
         self.inner.handle_recover(ctx);
+    }
+}
+
+/// A Byzantine state-transfer donor. It runs the honest protocol on
+/// unmodified state — so it builds a complete log and advertises an
+/// attractive frontier to recovering peers — but answers every
+/// `SyncFetch` itself with *tampered* chunks: the claimed slots and MMR
+/// proofs are genuine while the batch contents are flipped. A correct
+/// recoverer must detect the mismatch when it verifies each entry against
+/// the certified MMR root (the leaf hash no longer matches the proof),
+/// reject the chunk without applying anything, and fail over to another
+/// donor.
+#[derive(Debug)]
+pub struct CorruptTransferPeer {
+    inner: Replica,
+}
+
+impl CorruptTransferPeer {
+    /// Wraps `inner`, forging every state-transfer chunk it serves.
+    pub fn new(inner: Replica) -> Self {
+        CorruptTransferPeer { inner }
+    }
+
+    /// The wrapped (locally honest) replica.
+    pub fn inner(&self) -> &Replica {
+        &self.inner
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, XpMsg>, from: ProcessId, msg: XpMsg) {
+        let XpMsg::SyncFetch {
+            from_slot,
+            to_slot,
+            proof_slot,
+        } = msg
+        else {
+            self.inner.handle_message(ctx, from, msg);
+            return;
+        };
+        // Serve the requested range like an honest donor would, but with
+        // the first request of every batch flipped. Proofs stay genuine:
+        // the forgery must be caught by content verification, not by a
+        // malformed-proof shortcut.
+        let log = self.inner.log();
+        let to = to_slot.min(proof_slot).min(log.watermark());
+        let mut entries = Vec::new();
+        for slot in from_slot..to {
+            let Some(batch) = log.batch_at(slot) else { break };
+            let Ok(proof) = log.mmr().proof_at(slot, proof_slot) else {
+                break;
+            };
+            let mut reqs = batch.reqs.clone();
+            if let Some(r) = reqs.first_mut() {
+                r.payload ^= 0xBAD;
+            }
+            entries.push(CompactEntry {
+                slot,
+                batch: Batch::new(reqs),
+                proof,
+            });
+        }
+        ctx.send(
+            from,
+            XpMsg::SyncChunk {
+                entries,
+                proof_slot,
+            },
+        );
     }
 }
 
@@ -485,6 +563,7 @@ impl ClusterBuilder {
             match &mut actor {
                 XpActor::Replica(r) => r.set_trace_sink(self.trace.clone()),
                 XpActor::Gray(g) => g.inner.set_trace_sink(self.trace.clone()),
+                XpActor::CorruptTransfer(c) => c.inner.set_trace_sink(self.trace.clone()),
                 _ => {}
             }
             actors.push(actor);

@@ -50,5 +50,5 @@ pub mod messages;
 pub mod policy;
 pub mod replica;
 
-pub use policy::{BatchPolicy, ViewPolicy};
+pub use policy::{BatchPolicy, CheckpointPolicy, ViewPolicy};
 pub use replica::{QuorumPolicy, Replica, ReplicaConfig, ReplicaStats};

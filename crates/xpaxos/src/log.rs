@@ -1,11 +1,13 @@
 //! The replicated log: slots, prepare/commit certificates, in-order
-//! execution.
+//! execution, checkpoint-driven compaction, and the MMR that
+//! authenticates compacted history.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use qsel_types::{ProcessId, ProcessSet};
+use qsel_mmr::{leaf_hash, Mmr, MmrError};
+use qsel_types::{CheckpointPayload, ProcessId, ProcessSet};
 
-use crate::messages::{Request, SignedCommit, SignedPrepare};
+use crate::messages::{Batch, Request, SignedCommit, SignedPrepare};
 
 /// Inserts the dedup assignment of every request in `prepare`'s batch.
 // lint: allow(D1, lookup-only dedup index; never iterated) lint: allow(S1, σ_l checked at the replica boundary before log admission)
@@ -60,6 +62,26 @@ pub struct Log {
     /// view change must not be applied twice.
     // lint: allow(D1, membership-only dedup set; never iterated)
     executed_ops: HashSet<(ProcessId, u64)>,
+    /// Merkle mountain range over executed batch digests: leaf `i` is
+    /// `leaf_hash(i, batch_i.digest())`, appended as the cursor passes
+    /// slot `i`, so `mmr.leaf_count() == exec_cursor` always.
+    mmr: Mmr,
+    /// Batches of garbage-collected slots kept for serving incremental
+    /// state transfer, bounded by the GC policy's `archive_retain`.
+    archive: BTreeMap<u64, Batch>,
+    /// First slot whose batch content this replica can still serve
+    /// (everything below was pruned from both `slots` and `archive`).
+    serve_floor: u64,
+    /// Slots strictly below this have been compacted away (GC or a
+    /// checkpoint jump): their agreement records are gone, so late
+    /// PREPARE/COMMIT traffic for them must be dropped rather than
+    /// re-admitted as fresh slots. 0 until the first compaction.
+    gc_floor: u64,
+    /// Checkpoint period in slots (0 disables capture).
+    ckpt_interval: u64,
+    /// Payloads captured as the cursor crossed interval multiples,
+    /// awaiting the replica's signature and broadcast.
+    pending_ckpts: Vec<CheckpointPayload>,
 }
 
 impl Log {
@@ -175,6 +197,7 @@ impl Log {
             if !s.decided {
                 break;
             }
+            let batch_digest = s.prepare.payload.batch.digest();
             for req in s.prepare.payload.batch.reqs.clone() {
                 if self.executed_ops.insert((req.client, req.op)) {
                     self.state = self
@@ -185,7 +208,9 @@ impl Log {
                     self.executed.push((self.exec_cursor, req));
                 }
             }
+            self.mmr.push(leaf_hash(self.exec_cursor, &batch_digest));
             self.exec_cursor += 1;
+            self.maybe_capture_checkpoint();
         }
         out
     }
@@ -262,6 +287,188 @@ impl Log {
     /// Number of decided slots.
     pub fn decided_count(&self) -> usize {
         self.slots.values().filter(|s| s.decided).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing, compaction, and transfer serving
+    // ------------------------------------------------------------------
+
+    /// Sets the checkpoint period: whenever the execution cursor crosses
+    /// a multiple of `interval`, the log captures a [`CheckpointPayload`]
+    /// at exactly that boundary (every correct replica executing the same
+    /// prefix captures a byte-identical payload, which is what makes
+    /// `f + 1` matching signatures achievable). Zero disables capture.
+    pub fn set_checkpoint_interval(&mut self, interval: u64) {
+        self.ckpt_interval = interval;
+    }
+
+    /// Captures a checkpoint payload if the cursor sits exactly on a
+    /// non-zero interval boundary. Called after every single-slot cursor
+    /// advance, so no boundary is ever skipped or approximated.
+    fn maybe_capture_checkpoint(&mut self) {
+        if self.ckpt_interval == 0 || self.exec_cursor == 0 {
+            return;
+        }
+        if !self.exec_cursor.is_multiple_of(self.ckpt_interval) {
+            return;
+        }
+        // Infallible by the `mmr.leaf_count() == exec_cursor` invariant;
+        // if it ever failed we would rather skip a checkpoint than panic.
+        if let Ok(peaks) = self.mmr.peaks() {
+            self.pending_ckpts.push(CheckpointPayload {
+                slot: self.exec_cursor,
+                state: self.state,
+                peaks,
+            });
+        }
+    }
+
+    /// Drains the checkpoint payloads captured since the last call (the
+    /// replica signs and broadcasts them).
+    pub fn take_pending_checkpoints(&mut self) -> Vec<CheckpointPayload> {
+        std::mem::take(&mut self.pending_ckpts)
+    }
+
+    /// Applies an MMR-verified compact entry at the cursor: executes the
+    /// batch exactly as [`Log::execute_ready`] would have, advances the
+    /// cursor, and parks the batch in the archive so this replica can in
+    /// turn serve it. Returns the executed requests, or `None` if `slot`
+    /// is not the cursor (out-of-order chunks are a protocol error the
+    /// caller handles). The caller MUST have verified the entry's
+    /// inclusion proof against a trusted checkpoint root first.
+    // lint: allow(S1, callers verify the MMR inclusion proof before applying)
+    pub fn apply_compact(&mut self, slot: u64, batch: &Batch) -> Option<Vec<(u64, Request)>> {
+        if slot != self.exec_cursor {
+            return None;
+        }
+        let mut out = Vec::new();
+        let batch_digest = batch.digest();
+        for req in &batch.reqs {
+            self.assigned.insert((req.client, req.op), slot);
+            if self.executed_ops.insert((req.client, req.op)) {
+                self.state = self
+                    .state
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(req.payload);
+                out.push((slot, req.clone()));
+                self.executed.push((slot, req.clone()));
+            }
+        }
+        self.mmr.push(leaf_hash(slot, &batch_digest));
+        self.exec_cursor += 1;
+        self.archive.insert(slot, batch.clone());
+        self.maybe_capture_checkpoint();
+        Some(out)
+    }
+
+    /// The MMR over the executed prefix (read access for proof serving).
+    pub fn mmr(&self) -> &Mmr {
+        &self.mmr
+    }
+
+    /// Slots currently resident in the live map — the quantity the GC
+    /// invariant bounds (soak tests assert it stays O(checkpoint
+    /// interval + in-flight pipeline)).
+    pub fn log_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Batches resident in the transfer archive (bounded by
+    /// `archive_retain`).
+    pub fn archive_len(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// Lowest slot still resident in the live map.
+    pub fn min_slot(&self) -> Option<u64> {
+        self.slots.keys().next().copied()
+    }
+
+    /// First slot whose batch content this replica can still serve to a
+    /// recovering peer.
+    pub fn serve_floor(&self) -> u64 {
+        self.serve_floor
+    }
+
+    /// Slots strictly below this have had their agreement records
+    /// compacted away: late PREPARE/COMMIT traffic for them is old news
+    /// (the slot is covered by a stable checkpoint) and must be ignored,
+    /// not re-admitted as a fresh slot.
+    pub fn gc_floor(&self) -> u64 {
+        self.gc_floor
+    }
+
+    /// The checkpoint content at the current watermark: the executed
+    /// prefix length, the state fold, and the MMR peaks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MmrError`] — only reachable if the forest somehow
+    /// lacks its own current peaks, which the `mmr.leaf_count() ==
+    /// exec_cursor` invariant rules out.
+    pub fn checkpoint_payload(&self) -> Result<CheckpointPayload, MmrError> {
+        Ok(CheckpointPayload {
+            slot: self.exec_cursor,
+            state: self.state,
+            peaks: self.mmr.peaks()?,
+        })
+    }
+
+    /// Garbage-collects executed slots below `stable_slot` from the live
+    /// map, parking their batches in the transfer archive, which is in
+    /// turn pruned to the last `archive_retain` slots below the stable
+    /// point. Never touches unexecuted slots (the bound is clamped to the
+    /// cursor). Returns the number of slots compacted.
+    pub fn gc_below(&mut self, stable_slot: u64, archive_retain: u64) -> usize {
+        let bound = stable_slot.min(self.exec_cursor);
+        self.gc_floor = self.gc_floor.max(bound);
+        let keep = self.slots.split_off(&bound);
+        let dropped = std::mem::replace(&mut self.slots, keep);
+        let n = dropped.len();
+        for (slot, s) in dropped {
+            self.archive.insert(slot, s.prepare.payload.batch);
+        }
+        let floor = bound.saturating_sub(archive_retain);
+        self.archive = self.archive.split_off(&floor);
+        self.serve_floor = self.serve_floor.max(floor);
+        n
+    }
+
+    /// The executed batch at `slot`, from the live map or the archive —
+    /// what a donor serves in a transfer chunk.
+    pub fn batch_at(&self, slot: u64) -> Option<&Batch> {
+        if slot >= self.exec_cursor {
+            return None;
+        }
+        self.archive
+            .get(&slot)
+            .or_else(|| self.slots.get(&slot).map(|s| &s.prepare.payload.batch))
+    }
+
+    /// Jumps the log forward to a verified stable checkpoint: the cursor
+    /// and state adopt the certified values and the MMR resumes from the
+    /// certified peaks. Decided slots at or above the checkpoint are kept
+    /// and will execute normally. A checkpoint at or behind the cursor is
+    /// a no-op (we are already past it).
+    ///
+    /// # Errors
+    ///
+    /// [`MmrError::PeakCountMismatch`] if the payload's peaks do not
+    /// match its slot's bit pattern (a malformed certificate — nothing is
+    /// modified in that case).
+    pub fn install_checkpoint(&mut self, ckpt: &CheckpointPayload) -> Result<(), MmrError> {
+        if ckpt.slot <= self.exec_cursor {
+            return Ok(());
+        }
+        let mmr = Mmr::from_peaks(ckpt.slot, &ckpt.peaks)?;
+        self.mmr = mmr;
+        self.slots = self.slots.split_off(&ckpt.slot);
+        self.archive.clear();
+        self.gc_floor = self.gc_floor.max(ckpt.slot);
+        self.serve_floor = ckpt.slot;
+        self.exec_cursor = ckpt.slot;
+        self.state = ckpt.state;
+        Ok(())
     }
 }
 

@@ -1,9 +1,10 @@
 //! XPaxos wire messages (Fig. 2 / Fig. 3 of the paper, plus view change).
 
 use qsel::messages::SignedUpdate;
+use qsel_mmr::MmrProof;
 use qsel_types::crypto::{sha256, Digest};
 use qsel_types::encode::{encode_to_vec, Decode, DecodeError, Encode, Reader};
-use qsel_types::{ProcessId, Signed};
+use qsel_types::{CheckpointPayload, ProcessId, Signed};
 
 /// Consumes a 4-byte domain-separation tag, rejecting a mismatch.
 fn expect_tag(r: &mut Reader<'_>, tag: &[u8; 4]) -> Result<(), DecodeError> {
@@ -357,6 +358,78 @@ impl Decode for DecidedEntry {
     }
 }
 
+/// A replica's signed checkpoint vote (see [`CheckpointPayload`]).
+pub type SignedCheckpoint = Signed<CheckpointPayload>;
+
+/// A stable-checkpoint certificate: `f + 1` [`SignedCheckpoint`]s over
+/// byte-identical payloads. At least one signer is correct, and a correct
+/// replica only signs a checkpoint it computed by executing the prefix —
+/// so a verified certificate proves the payload's state and MMR peaks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckpointCert {
+    /// The matching signed votes, ascending by signer.
+    pub sigs: Vec<SignedCheckpoint>,
+}
+
+impl CheckpointCert {
+    /// The certified payload (all votes carry the same one; structural
+    /// agreement is enforced by the verifier, not assumed here).
+    pub fn payload(&self) -> Option<&CheckpointPayload> {
+        self.sigs.first().map(|s| &s.payload)
+    }
+}
+
+impl Encode for CheckpointCert {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"CCRT");
+        self.sigs.encode(buf);
+    }
+}
+
+impl Decode for CheckpointCert {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"CCRT")?;
+        Ok(CheckpointCert {
+            sigs: Vec::decode(r)?,
+        })
+    }
+}
+
+/// One compacted log entry served during incremental state transfer: the
+/// batch executed at `slot`, authenticated by an MMR inclusion proof
+/// against a checkpoint certificate's root instead of by its (garbage-
+/// collected) commit certificate. Receivers recompute the leaf from the
+/// received bytes and verify the proof before applying anything.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompactEntry {
+    /// The slot the batch was executed at.
+    pub slot: u64,
+    /// The executed batch.
+    pub batch: Batch,
+    /// Inclusion proof binding `(slot, batch)` to the certified MMR root.
+    pub proof: MmrProof,
+}
+
+impl Encode for CompactEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(b"CENT");
+        self.slot.encode(buf);
+        self.batch.encode(buf);
+        self.proof.encode(buf);
+    }
+}
+
+impl Decode for CompactEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        expect_tag(r, b"CENT")?;
+        Ok(CompactEntry {
+            slot: u64::decode(r)?,
+            batch: Batch::decode(r)?,
+            proof: MmrProof::decode(r)?,
+        })
+    }
+}
+
 /// All XPaxos wire messages.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum XpMsg {
@@ -396,6 +469,42 @@ pub enum XpMsg {
         /// Certified decided entries.
         entries: Vec<DecidedEntry>,
     },
+    /// A replica's periodic checkpoint vote, broadcast to all replicas.
+    Checkpoint(SignedCheckpoint),
+    /// A recovering replica probing the cluster: "I have executed up to
+    /// `watermark`; what checkpoint and log range can you serve?"
+    SyncQuery {
+        /// The requester's executed-prefix length.
+        watermark: u64,
+    },
+    /// A donor's answer to [`XpMsg::SyncQuery`].
+    SyncInfo {
+        /// The donor's newest stable-checkpoint certificate, if any.
+        checkpoint: Option<CheckpointCert>,
+        /// First slot the donor can still serve batch content for (its
+        /// GC floor / archive start).
+        archive_from: u64,
+        /// The donor's executed-prefix length.
+        frontier: u64,
+    },
+    /// Request for MMR-authenticated compact entries `[from_slot,
+    /// to_slot)`, proved against the certified root at size `proof_slot`.
+    SyncFetch {
+        /// First wanted slot.
+        from_slot: u64,
+        /// One past the last wanted slot.
+        to_slot: u64,
+        /// Checkpoint size the proofs must be generated against.
+        proof_slot: u64,
+    },
+    /// Response to [`XpMsg::SyncFetch`].
+    SyncChunk {
+        /// Compact entries with inclusion proofs, ascending by slot.
+        entries: Vec<CompactEntry>,
+        /// The checkpoint size the proofs were generated against (echo of
+        /// the request's `proof_slot`).
+        proof_slot: u64,
+    },
 }
 
 impl XpMsg {
@@ -413,6 +522,11 @@ impl XpMsg {
             XpMsg::LazyUpdate { .. } => "lazy-update",
             XpMsg::StateFetch { .. } => "state-fetch",
             XpMsg::StateBatch { .. } => "state-batch",
+            XpMsg::Checkpoint(_) => "checkpoint",
+            XpMsg::SyncQuery { .. } => "sync-query",
+            XpMsg::SyncInfo { .. } => "sync-info",
+            XpMsg::SyncFetch { .. } => "sync-fetch",
+            XpMsg::SyncChunk { .. } => "sync-chunk",
         }
     }
 
@@ -477,6 +591,48 @@ impl Encode for XpMsg {
                 buf.push(10);
                 entries.encode(buf);
             }
+            XpMsg::Checkpoint(c) => {
+                buf.push(11);
+                c.encode(buf);
+            }
+            XpMsg::SyncQuery { watermark } => {
+                buf.push(12);
+                watermark.encode(buf);
+            }
+            XpMsg::SyncInfo {
+                checkpoint,
+                archive_from,
+                frontier,
+            } => {
+                buf.push(13);
+                match checkpoint {
+                    Some(cert) => {
+                        true.encode(buf);
+                        cert.encode(buf);
+                    }
+                    None => false.encode(buf),
+                }
+                archive_from.encode(buf);
+                frontier.encode(buf);
+            }
+            XpMsg::SyncFetch {
+                from_slot,
+                to_slot,
+                proof_slot,
+            } => {
+                buf.push(14);
+                from_slot.encode(buf);
+                to_slot.encode(buf);
+                proof_slot.encode(buf);
+            }
+            XpMsg::SyncChunk {
+                entries,
+                proof_slot,
+            } => {
+                buf.push(15);
+                entries.encode(buf);
+                proof_slot.encode(buf);
+            }
         }
     }
 }
@@ -502,6 +658,28 @@ impl Decode for XpMsg {
             },
             10 => XpMsg::StateBatch {
                 entries: Vec::decode(r)?,
+            },
+            11 => XpMsg::Checkpoint(SignedCheckpoint::decode(r)?),
+            12 => XpMsg::SyncQuery {
+                watermark: u64::decode(r)?,
+            },
+            13 => XpMsg::SyncInfo {
+                checkpoint: if bool::decode(r)? {
+                    Some(CheckpointCert::decode(r)?)
+                } else {
+                    None
+                },
+                archive_from: u64::decode(r)?,
+                frontier: u64::decode(r)?,
+            },
+            14 => XpMsg::SyncFetch {
+                from_slot: u64::decode(r)?,
+                to_slot: u64::decode(r)?,
+                proof_slot: u64::decode(r)?,
+            },
+            15 => XpMsg::SyncChunk {
+                entries: Vec::decode(r)?,
+                proof_slot: u64::decode(r)?,
             },
             t => return Err(DecodeError::BadTag(t)),
         })

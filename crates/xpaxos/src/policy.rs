@@ -69,6 +69,47 @@ impl BatchPolicy {
     }
 }
 
+/// Checkpointing and log-compaction knobs.
+///
+/// With a non-zero [`interval`](Self::interval) every replica signs and
+/// broadcasts a checkpoint each time its execution cursor crosses an
+/// interval multiple. Once `f + 1` matching signatures are collected the
+/// checkpoint is *stable*: the replica garbage-collects every log slot
+/// below it (certificates and all), keeping only the last
+/// [`archive_retain`](Self::archive_retain) batches of compacted content
+/// for serving MMR-authenticated incremental state transfer.
+///
+/// The default interval of zero disables the whole subsystem — the
+/// replica behaves (and traces) byte-identically to the pre-checkpoint
+/// protocol, which keeps golden traces stable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CheckpointPolicy {
+    /// Checkpoint period in slots (0 disables checkpointing, compaction,
+    /// and incremental state transfer).
+    pub interval: u64,
+    /// How many compacted batches below the stable checkpoint stay
+    /// resident in the transfer archive. Larger values let lagging peers
+    /// catch up via compact entries (preserving their dedup history);
+    /// smaller values bound memory harder and force far-behind peers to
+    /// jump to the checkpoint instead.
+    pub archive_retain: u64,
+}
+
+impl CheckpointPolicy {
+    /// Builds a policy.
+    pub fn new(interval: u64, archive_retain: u64) -> Self {
+        CheckpointPolicy {
+            interval,
+            archive_retain,
+        }
+    }
+
+    /// Whether checkpointing is on at all.
+    pub fn enabled(&self) -> bool {
+        self.interval > 0
+    }
+}
+
 /// Lexicographic combination numbering of quorums.
 #[derive(Clone, Copy, Debug)]
 pub struct ViewPolicy {

@@ -20,22 +20,22 @@
 //! whose group is `Q`, suspecting every quorum ordered before it, and
 //! invokes `⟨CANCEL⟩` on the failure detector.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use qsel::{QsOutput, QuorumSelection};
 use qsel_detector::{FailureDetector, FdConfig, FdOutput};
 use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{Context, SimDuration, TimerId};
 use qsel_types::crypto::{Keychain, Signer, Verifier};
-use qsel_types::{ClusterConfig, ProcessId, Quorum};
+use qsel_types::{CheckpointPayload, ClusterConfig, ProcessId, Quorum};
 
 use crate::log::Log;
 use crate::messages::{
-    Batch, CommitPayload, DecidedEntry, HeartbeatPayload, NewViewPayload, PreparePayload, Reply,
-    Request, SignedCommit, SignedNewView, SignedPrepare, SignedViewChange, ViewChangePayload,
-    XpMsg,
+    Batch, CheckpointCert, CommitPayload, CompactEntry, DecidedEntry, HeartbeatPayload,
+    NewViewPayload, PreparePayload, Reply, Request, SignedCheckpoint, SignedCommit, SignedNewView,
+    SignedPrepare, SignedViewChange, ViewChangePayload, XpMsg,
 };
-use crate::policy::{BatchPolicy, ViewPolicy};
+use crate::policy::{BatchPolicy, CheckpointPolicy, ViewPolicy};
 
 const TIMER_FD_POLL: TimerId = TimerId(1);
 const TIMER_HEARTBEAT: TimerId = TimerId(2);
@@ -43,6 +43,17 @@ const TIMER_LAZY: TimerId = TimerId(3);
 /// Leader-side batch-delay timer ([`BatchPolicy::max_batch_delay`]).
 const TIMER_BATCH: TimerId = TimerId(4);
 const TIMER_VC_BASE: u64 = 1000;
+/// Generation-tagged state-transfer retry timers live far above the
+/// view-change band so the two generation counters can never collide.
+const TIMER_SYNC_BASE: u64 = 1_000_000_000;
+/// Slots per state-transfer round trip (both compact and certified).
+const SYNC_CHUNK: u64 = 512;
+/// Unanswered rounds tolerated before the current donor is abandoned.
+const SYNC_MAX_RETRIES: u32 = 3;
+/// Cap on distinct slots with buffered checkpoint votes (a Byzantine
+/// flood of far-future votes must not grow memory; honest votes cluster
+/// near the frontier, so the farthest-future slots are evicted first).
+const MAX_VOTE_SLOTS: usize = 1024;
 
 /// How the replica chooses the next quorum after a suspicion.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,6 +88,10 @@ pub struct ReplicaConfig {
     /// the passthrough identity (size 1, depth 1): byte-identical traced
     /// behaviour to the unbatched protocol.
     pub batch: BatchPolicy,
+    /// Checkpointing, log compaction, and incremental state transfer.
+    /// The default (interval 0) disables the subsystem entirely, keeping
+    /// traced behaviour byte-identical to the pre-checkpoint protocol.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for ReplicaConfig {
@@ -91,6 +106,7 @@ impl Default for ReplicaConfig {
             heartbeat_period: SimDuration::millis(3),
             lazy_period: SimDuration::millis(10),
             batch: BatchPolicy::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -112,12 +128,58 @@ pub struct ReplicaStats {
     pub forwarded: u64,
     /// Crash-recoveries performed ([`Replica::handle_recover`]).
     pub recoveries: u64,
+    /// Stable checkpoints installed (`f+1` matching signatures seen).
+    pub checkpoints_stable: u64,
+    /// Incremental state transfers started.
+    pub state_transfers: u64,
+    /// Transfer chunks rejected (failed proof / malformed range).
+    pub chunks_rejected: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Phase {
     Normal,
     ViewChange { target: u64 },
+}
+
+/// What a donor said it can serve (checkpoint already verified).
+#[derive(Clone, Debug)]
+struct PeerSyncInfo {
+    /// The donor's stable checkpoint, kept only if it verified.
+    checkpoint: Option<CheckpointCert>,
+    /// First slot the donor can serve batch content for.
+    archive_from: u64,
+    /// The donor's executed-prefix length.
+    frontier: u64,
+}
+
+/// The recovery state machine (see [`Replica::begin_sync`]).
+#[derive(Clone, Debug)]
+enum SyncState {
+    /// Not transferring.
+    Idle,
+    /// `SyncQuery` broadcast, collecting `SyncInfo` answers.
+    Probing {
+        /// Probe rounds completed without a usable answer (backoff input).
+        retries: u32,
+    },
+    /// Pulling the gap from a chosen donor.
+    Fetching {
+        /// The donor every request in this attempt goes to.
+        donor: ProcessId,
+        /// Certified payload compact proofs verify against (compact mode).
+        ckpt: Option<CheckpointPayload>,
+        /// MMR size proofs are generated at; compact entries cover
+        /// `[watermark, proof_slot)`. Zero when no compact segment.
+        proof_slot: u64,
+        /// The frontier this transfer is catching up to.
+        target: u64,
+        /// Unanswered request rounds at the current donor.
+        retries: u32,
+        /// `(slot, digest)` recomputed when the certified boundary was
+        /// crossed — emitted with `StateTransferDone`.
+        boundary: Option<(u64, u64)>,
+    },
 }
 
 /// An XPaxos replica (drive it through [`crate::harness::XpActor`] or call
@@ -158,6 +220,21 @@ pub struct Replica {
     /// First decided slot not yet shipped by lazy replication (leader).
     lazy_sent: u64,
     hb_seq: u64,
+    /// Checkpoint votes by slot, then signer (ordered: a stable
+    /// certificate's signature order must not leak map iteration order
+    /// into message bytes).
+    ckpt_votes: BTreeMap<u64, BTreeMap<ProcessId, SignedCheckpoint>>,
+    /// Newest stable checkpoint certificate (served to recovering peers).
+    stable_ckpt: Option<CheckpointCert>,
+    /// Recovery state machine.
+    sync: SyncState,
+    /// Generation tag for sync retry timers: bumped on every request or
+    /// phase change, so a stale timer fire is recognised and ignored.
+    sync_gen: u64,
+    /// `SyncInfo` answers collected during the current recovery.
+    sync_infos: BTreeMap<ProcessId, PeerSyncInfo>,
+    /// Donors that served bad chunks or timed out this recovery.
+    sync_failed: BTreeSet<ProcessId>,
     stats: ReplicaStats,
     view_history: Vec<(qsel_simnet::SimTime, u64)>,
     trace: TraceSink,
@@ -197,6 +274,8 @@ impl Replica {
             )),
             QuorumPolicy::Enumeration => None,
         };
+        let mut log = Log::new();
+        log.set_checkpoint_interval(rcfg.checkpoint.interval);
         Replica {
             me,
             signer: chain.signer(me),
@@ -204,7 +283,7 @@ impl Replica {
             views: ViewPolicy::new(&cfg),
             fd: FailureDetector::new(me, cfg.n(), rcfg.fd.clone()),
             qs,
-            log: Log::new(),
+            log,
             view: 0,
             phase: Phase::Normal,
             next_slot: 0,
@@ -217,6 +296,12 @@ impl Replica {
             pending_protocol: std::collections::VecDeque::new(),
             lazy_sent: 0,
             hb_seq: 0,
+            ckpt_votes: BTreeMap::new(),
+            stable_ckpt: None,
+            sync: SyncState::Idle,
+            sync_gen: 0,
+            sync_infos: BTreeMap::new(),
+            sync_failed: BTreeSet::new(),
             stats: ReplicaStats::default(),
             view_history: Vec::new(),
             trace: TraceSink::disabled(),
@@ -290,6 +375,19 @@ impl Replica {
         self.me
     }
 
+    /// Slot of the newest stable checkpoint (0 when none yet).
+    pub fn stable_checkpoint_slot(&self) -> u64 {
+        self.stable_ckpt
+            .as_ref()
+            .and_then(|c| c.payload())
+            .map_or(0, |p| p.slot)
+    }
+
+    /// Whether an incremental state transfer is currently in flight.
+    pub fn is_syncing(&self) -> bool {
+        !matches!(self.sync, SyncState::Idle)
+    }
+
     // ------------------------------------------------------------------
     // Event entry points (called by the harness actor)
     // ------------------------------------------------------------------
@@ -328,25 +426,35 @@ impl Replica {
             outs.timers.push((self.rcfg.batch.max_batch_delay, TIMER_BATCH));
         }
         self.pump_batches(now, &mut outs);
-        // Every correct replica answers a StateFetch (possibly with an
-        // empty batch), so the expectation is accuracy-safe — and a peer
-        // that crashed in the meantime is rightly suspected.
-        let from_slot = self.log.watermark();
-        let min = self.rcfg.view_change_timeout;
-        for k in self.cfg.processes() {
-            if k == self.me {
-                continue;
+        if self.rcfg.checkpoint.enabled() {
+            // Incremental recovery: probe the cluster for a stable
+            // checkpoint and the serveable log ranges, then pull only the
+            // gap — O(gap) messages instead of a blanket full-suffix
+            // broadcast to every peer. The retry/backoff machinery lives
+            // in the sync state machine (its timers died with us).
+            self.sync = SyncState::Idle;
+            self.begin_sync(now, &mut outs);
+        } else {
+            // Every correct replica answers a StateFetch (possibly with an
+            // empty batch), so the expectation is accuracy-safe — and a
+            // peer that crashed in the meantime is rightly suspected.
+            let from_slot = self.log.watermark();
+            let min = self.rcfg.view_change_timeout;
+            for k in self.cfg.processes() {
+                if k == self.me {
+                    continue;
+                }
+                outs.sends.push((
+                    k,
+                    XpMsg::StateFetch {
+                        from_slot,
+                        to_slot: u64::MAX,
+                    },
+                ));
+                self.fd.expect_with_min(now, k, min, "recover-state", |m| {
+                    matches!(m, XpMsg::StateBatch { .. })
+                });
             }
-            outs.sends.push((
-                k,
-                XpMsg::StateFetch {
-                    from_slot,
-                    to_slot: u64::MAX,
-                },
-            ));
-            self.fd.expect_with_min(now, k, min, "recover-state", |m| {
-                matches!(m, XpMsg::StateBatch { .. })
-            });
         }
         // A view change interrupted by the crash is re-entered: the peers
         // may have completed it (or moved past it) while we were down and
@@ -382,7 +490,7 @@ impl Replica {
                 // Certificates are self-authenticating; adopt what
                 // verifies. A StateBatch additionally fulfils the fetch
                 // expectation, which flows through the detector below.
-                self.adopt_entries(entries, &mut outs);
+                self.adopt_entries(ctx.now(), entries, &mut outs);
                 if let Some(origin) = Some(link_sender) {
                     let fd_out = self.fd.on_receive(
                         ctx.now(),
@@ -391,6 +499,37 @@ impl Replica {
                     );
                     self.pump_fd(ctx.now(), fd_out, &mut outs);
                 }
+                self.sync_progress(ctx.now(), &mut outs);
+            }
+            XpMsg::SyncQuery { watermark } => {
+                self.on_sync_query(link_sender, watermark, &mut outs);
+            }
+            XpMsg::SyncInfo {
+                checkpoint,
+                archive_from,
+                frontier,
+            } => {
+                self.on_sync_info(
+                    ctx.now(),
+                    link_sender,
+                    checkpoint,
+                    archive_from,
+                    frontier,
+                    &mut outs,
+                );
+            }
+            XpMsg::SyncFetch {
+                from_slot,
+                to_slot,
+                proof_slot,
+            } => {
+                self.on_sync_fetch(link_sender, from_slot, to_slot, proof_slot, &mut outs);
+            }
+            XpMsg::SyncChunk {
+                entries,
+                proof_slot,
+            } => {
+                self.on_sync_chunk(ctx.now(), link_sender, entries, proof_slot, &mut outs);
             }
             other => {
                 // Replica-to-replica traffic is authenticated and flows
@@ -424,6 +563,14 @@ impl Replica {
                 // slot is free (stale fires are harmless: the deadline
                 // check inside simply does not force a close).
                 self.pump_batches(ctx.now(), &mut outs);
+            }
+            TimerId(id) if id >= TIMER_SYNC_BASE => {
+                // State-transfer retry timer: only the generation armed
+                // for the in-flight request/probe is live; anything else
+                // is a stale fire from an answered round.
+                if id - TIMER_SYNC_BASE == self.sync_gen {
+                    self.on_sync_timeout(ctx.now(), &mut outs);
+                }
             }
             TimerId(id) if id >= TIMER_VC_BASE => {
                 // View-change stall timer (enumeration policy): if the
@@ -654,6 +801,13 @@ impl Replica {
             self.detect(now, sc.signer, outs);
             return;
         }
+        if sc.payload.slot < self.log.gc_floor() {
+            // The slot was compacted below a stable checkpoint: its
+            // agreement record is gone, so this late COMMIT must not be
+            // re-admitted as a fresh slot (it would re-decide below the
+            // GC floor and issue expectations no decided member answers).
+            return;
+        }
         if self.phase != Phase::Normal || sc.payload.view > self.view {
             self.stash(XpMsg::Commit(sc));
             return;
@@ -715,6 +869,9 @@ impl Replica {
         outs: &mut Outs,
     ) {
         let slot = sp.payload.slot;
+        if slot < self.log.gc_floor() {
+            return; // compacted below a stable checkpoint — old news
+        }
         let view = sp.payload.view;
         let leader = self.views.leader(view);
         let members = *self.views.group(view).members();
@@ -834,6 +991,7 @@ impl Replica {
                 }),
             ));
         }
+        self.pump_checkpoints(now, outs);
     }
 
     // ------------------------------------------------------------------
@@ -1203,7 +1361,7 @@ impl Replica {
     /// Adopts certified decided entries (from lazy replication or a state
     /// batch) after verifying each certificate, then executes anything
     /// that became ready.
-    fn adopt_entries(&mut self, entries: Vec<DecidedEntry>, outs: &mut Outs) {
+    fn adopt_entries(&mut self, now: qsel_simnet::SimTime, entries: Vec<DecidedEntry>, outs: &mut Outs) {
         for entry in entries {
             if !self.verify_certificate(&entry) {
                 continue;
@@ -1226,6 +1384,7 @@ impl Replica {
                 }),
             ));
         }
+        self.pump_checkpoints(now, outs);
     }
 
     /// A certificate is valid iff the prepare is signed by its view's
@@ -1253,6 +1412,660 @@ impl Replica {
                     && self.verifier.verify(c).is_ok()
             })
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing and log compaction
+    // ------------------------------------------------------------------
+
+    /// Signs and broadcasts any checkpoint payloads the log captured
+    /// while executing, counting our own vote. Payloads at or below the
+    /// stable checkpoint (e.g. recomputed while replaying compact
+    /// entries) are skipped — their certificate already exists.
+    fn pump_checkpoints(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        if !self.rcfg.checkpoint.enabled() {
+            return;
+        }
+        for payload in self.log.take_pending_checkpoints() {
+            if payload.slot <= self.stable_checkpoint_slot() {
+                continue;
+            }
+            let vote = self.signer.sign(payload);
+            for k in self.cfg.processes() {
+                if k != self.me {
+                    outs.sends.push((k, XpMsg::Checkpoint(vote.clone())));
+                }
+            }
+            self.on_checkpoint(now, vote, outs);
+        }
+    }
+
+    /// Records a checkpoint vote (a peer's signature was verified by
+    /// `authenticate`; our own is trivially valid) and promotes the slot
+    /// to stable once `f + 1` byte-identical payloads carry signatures
+    /// from distinct replicas.
+    // lint: allow(S1, σ verified by authenticate before FD dispatch; own votes are self-signed)
+    fn on_checkpoint(&mut self, now: qsel_simnet::SimTime, sc: SignedCheckpoint, outs: &mut Outs) {
+        if !self.rcfg.checkpoint.enabled() {
+            return;
+        }
+        let slot = sc.payload.slot;
+        if slot <= self.stable_checkpoint_slot() || !self.cfg.contains(sc.signer) {
+            return;
+        }
+        self.ckpt_votes.entry(slot).or_default().insert(sc.signer, sc);
+        while self.ckpt_votes.len() > MAX_VOTE_SLOTS {
+            self.ckpt_votes.pop_last();
+        }
+        let need = self.cfg.f() as usize + 1;
+        let Some(votes) = self.ckpt_votes.get(&slot) else {
+            return; // the new vote itself was evicted as far-future spam
+        };
+        // Group by payload equality (at most n votes; a quadratic scan
+        // beats hashing whole payloads and is deterministic).
+        let mut cert_sigs: Option<Vec<SignedCheckpoint>> = None;
+        for candidate in votes.values() {
+            let matching: Vec<SignedCheckpoint> = votes
+                .values()
+                .filter(|v| v.payload == candidate.payload)
+                .cloned()
+                .collect();
+            if matching.len() >= need {
+                cert_sigs = Some(matching);
+                break;
+            }
+        }
+        if let Some(sigs) = cert_sigs {
+            self.install_stable(now, CheckpointCert { sigs }, outs);
+        }
+    }
+
+    /// Installs a newer stable checkpoint: traces it, garbage-collects
+    /// the log below it (bounded by our own executed prefix), prunes
+    /// votes it covers, and — if the certificate proves the cluster is
+    /// far ahead of us — starts catching up.
+    fn install_stable(
+        &mut self,
+        now: qsel_simnet::SimTime,
+        cert: CheckpointCert,
+        outs: &mut Outs,
+    ) {
+        let Some(payload) = cert.payload().cloned() else {
+            return;
+        };
+        let slot = payload.slot;
+        if slot <= self.stable_checkpoint_slot() {
+            return;
+        }
+        let digest = digest_fingerprint(&payload.digest());
+        self.stable_ckpt = Some(cert);
+        self.stats.checkpoints_stable += 1;
+        let p = self.me.0;
+        self.trace.emit(|| TraceEvent::CheckpointStable { p, slot, digest });
+        let bound = slot.min(self.log.watermark());
+        let collected = self
+            .log
+            .gc_below(slot, self.rcfg.checkpoint.archive_retain);
+        if collected > 0 {
+            let len = self.log.log_len() as u64;
+            self.trace.emit(|| TraceEvent::LogGc {
+                p,
+                below: bound,
+                len,
+            });
+        }
+        self.ckpt_votes = self.ckpt_votes.split_off(&(slot + 1));
+        // Far behind the certified frontier? The quorum moved on without
+        // us (lazy replication lagging, long partition, …): catch up now
+        // instead of waiting to be needed by a view change.
+        let horizon = 2 * self.rcfg.checkpoint.interval;
+        if slot > self.log.watermark().saturating_add(horizon) {
+            self.begin_sync(now, outs);
+        }
+    }
+
+    /// A stable-checkpoint certificate verifies iff it carries `f + 1`
+    /// distinct in-cluster signers with valid signatures over
+    /// byte-identical payloads whose peak count matches the slot's bit
+    /// pattern. At least one signer is then correct, and correct replicas
+    /// only sign checkpoints they computed by executing the prefix.
+    fn verify_checkpoint_cert(&self, cert: &CheckpointCert) -> bool {
+        let Some(payload) = cert.payload() else {
+            return false;
+        };
+        if payload.peaks.len() != payload.slot.count_ones() as usize {
+            return false;
+        }
+        let mut signers = BTreeSet::new();
+        for s in &cert.sigs {
+            if s.payload != *payload
+                || !self.cfg.contains(s.signer)
+                || self.verifier.verify(s).is_err()
+                || !signers.insert(s.signer)
+            {
+                return false;
+            }
+        }
+        signers.len() > self.cfg.f() as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental state transfer (recovery)
+    // ------------------------------------------------------------------
+
+    /// Starts recovery: probe every peer for its checkpoint and
+    /// serveable range, then pull only the gap from the best donor.
+    /// No-op while a transfer is already in flight.
+    fn begin_sync(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        if !self.rcfg.checkpoint.enabled() || !matches!(self.sync, SyncState::Idle) {
+            return;
+        }
+        self.stats.state_transfers += 1;
+        self.sync_infos.clear();
+        self.sync_failed.clear();
+        self.start_probe(now, 0, outs);
+    }
+
+    fn start_probe(&mut self, _now: qsel_simnet::SimTime, retries: u32, outs: &mut Outs) {
+        self.sync = SyncState::Probing { retries };
+        self.sync_gen += 1;
+        let watermark = self.log.watermark();
+        for k in self.cfg.processes() {
+            if k != self.me {
+                outs.sends.push((k, XpMsg::SyncQuery { watermark }));
+            }
+        }
+        outs.timers.push((
+            self.sync_backoff(retries),
+            TimerId(TIMER_SYNC_BASE + self.sync_gen),
+        ));
+    }
+
+    /// Bounded-exponential backoff for probe and fetch retries.
+    fn sync_backoff(&self, retries: u32) -> SimDuration {
+        self.rcfg
+            .view_change_timeout
+            .saturating_mul(1u64 << retries.min(5))
+    }
+
+    /// Donor side of the probe: always answer with whatever we can serve
+    /// (requesters fail over on silence, so never answering would read as
+    /// a crash — answering with nothing is honest and cheap).
+    fn on_sync_query(&mut self, requester: ProcessId, _watermark: u64, outs: &mut Outs) {
+        if !self.cfg.contains(requester) || requester == self.me {
+            return;
+        }
+        outs.sends.push((
+            requester,
+            XpMsg::SyncInfo {
+                checkpoint: self.stable_ckpt.clone(),
+                archive_from: self.log.serve_floor(),
+                frontier: self.log.watermark(),
+            },
+        ));
+    }
+
+    /// Donor side of a compact fetch: serve MMR-proved batches for as
+    /// much of the requested range as we still hold. Always responds
+    /// (possibly empty) so the requester fails over instead of hanging.
+    fn on_sync_fetch(
+        &mut self,
+        requester: ProcessId,
+        from_slot: u64,
+        to_slot: u64,
+        proof_slot: u64,
+        outs: &mut Outs,
+    ) {
+        if !self.cfg.contains(requester) || requester == self.me {
+            return;
+        }
+        let to = to_slot
+            .min(from_slot.saturating_add(SYNC_CHUNK))
+            .min(proof_slot)
+            .min(self.log.watermark());
+        let mut entries = Vec::new();
+        for slot in from_slot..to {
+            let Some(batch) = self.log.batch_at(slot) else {
+                break;
+            };
+            let Ok(proof) = self.log.mmr().proof_at(slot, proof_slot) else {
+                break;
+            };
+            entries.push(CompactEntry {
+                slot,
+                batch: batch.clone(),
+                proof,
+            });
+        }
+        outs.sends.push((
+            requester,
+            XpMsg::SyncChunk {
+                entries,
+                proof_slot,
+            },
+        ));
+    }
+
+    /// Requester side of the probe: record the answer (dropping any
+    /// checkpoint certificate that fails verification — a Byzantine donor
+    /// must not steer us with a forged one) and decide once every peer
+    /// has answered; the probe timer decides earlier on partial answers.
+    fn on_sync_info(
+        &mut self,
+        now: qsel_simnet::SimTime,
+        sender: ProcessId,
+        checkpoint: Option<CheckpointCert>,
+        archive_from: u64,
+        frontier: u64,
+        outs: &mut Outs,
+    ) {
+        if !matches!(self.sync, SyncState::Probing { .. }) {
+            return;
+        }
+        if !self.cfg.contains(sender) || sender == self.me {
+            return;
+        }
+        let verified = checkpoint.filter(|c| self.verify_checkpoint_cert(c));
+        self.sync_infos.insert(
+            sender,
+            PeerSyncInfo {
+                checkpoint: verified,
+                archive_from,
+                frontier,
+            },
+        );
+        if self.sync_infos.len() as u32 == self.cfg.n() - 1 {
+            self.choose_donor(now, outs);
+        }
+    }
+
+    /// Picks the donor and transfer mode from the collected answers.
+    ///
+    /// Mode preference:
+    /// 1. **compact** — a verified checkpoint certificate is ahead of us
+    ///    and some donor still serves the batches in `[watermark, cert)`:
+    ///    fetch them with MMR inclusion proofs, verifying each entry
+    ///    against the certified root before applying (keeps our full
+    ///    dedup history).
+    /// 2. **jump** — a certificate is ahead but our gap was compacted
+    ///    away everywhere: install the certified checkpoint directly,
+    ///    then pull the suffix as ordinary commit certificates.
+    /// 3. **replay** — no checkpoint anywhere (graceful degradation):
+    ///    pull the whole suffix as commit certificates from one donor, as
+    ///    the pre-checkpoint protocol did by broadcast.
+    ///
+    /// Donor choice is deterministic: highest frontier, ties to the
+    /// lowest id, excluding donors that already failed this recovery.
+    fn choose_donor(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        let my_wm = self.log.watermark();
+        let cands: Vec<(ProcessId, u64, u64, Option<u64>)> = self
+            .sync_infos
+            .iter()
+            .filter(|(k, _)| !self.sync_failed.contains(k))
+            .map(|(k, i)| {
+                (
+                    *k,
+                    i.archive_from,
+                    i.frontier,
+                    i.checkpoint.as_ref().and_then(|c| c.payload()).map(|p| p.slot),
+                )
+            })
+            .collect();
+        if cands.is_empty() {
+            // Everyone failed or nobody answered: forget the failed set
+            // (a donor may merely have been slow) and re-probe, backing
+            // off so a dead cluster is not flooded.
+            let retries = match self.sync {
+                SyncState::Probing { retries } => retries + 1,
+                _ => 1,
+            };
+            self.sync_failed.clear();
+            self.sync_infos.clear();
+            self.start_probe(now, retries, outs);
+            return;
+        }
+        let pick_donor = |cands: &[(ProcessId, u64, u64, Option<u64>)]| {
+            cands
+                .iter()
+                .max_by_key(|(k, _, fr, _)| (*fr, std::cmp::Reverse(*k)))
+                .map(|(k, ..)| *k)
+        };
+        let target = cands.iter().map(|(_, _, fr, _)| *fr).max().unwrap_or(0);
+        if target <= my_wm {
+            // Nothing to fetch: we are at or past every answering peer.
+            self.finish_sync(now, outs);
+            return;
+        }
+        // The newest verified certificate ahead of us, from any answer.
+        let best: Option<(u64, ProcessId)> = cands
+            .iter()
+            .filter_map(|(k, _, _, cs)| cs.map(|s| (s, *k)))
+            .filter(|(s, _)| *s > my_wm)
+            .max_by_key(|(s, k)| (*s, std::cmp::Reverse(*k)));
+        let donor;
+        let mode;
+        let mut proof_slot = 0;
+        let mut ckpt_payload = None;
+        let mut boundary = None;
+        if let Some((cs, holder)) = best {
+            let cert = self
+                .sync_infos
+                .get(&holder)
+                .and_then(|i| i.checkpoint.clone());
+            let Some(cert) = cert else {
+                return; // unreachable: `best` came from a present cert
+            };
+            let Some(payload) = cert.payload().cloned() else {
+                return;
+            };
+            // Adopt the certificate: it verified, it is newer than ours,
+            // and holding it lets us serve future recoverers. GC below
+            // our own watermark rides along.
+            self.install_stable(now, cert, outs);
+            let compact_donor = cands
+                .iter()
+                .filter(|(_, af, fr, _)| *af <= my_wm && *fr >= cs)
+                .max_by_key(|(k, _, fr, _)| (*fr, std::cmp::Reverse(*k)))
+                .map(|(k, ..)| *k);
+            if let Some(d) = compact_donor {
+                donor = d;
+                mode = "compact";
+                proof_slot = cs;
+                ckpt_payload = Some(payload);
+            } else {
+                // Nobody can serve our gap: jump to the certified state.
+                if self.log.install_checkpoint(&payload).is_err() {
+                    // Unreachable for a verified cert (peak count was
+                    // checked); treat the holder as bad and re-choose.
+                    self.sync_failed.insert(holder);
+                    self.choose_donor(now, outs);
+                    return;
+                }
+                boundary = Some((cs, digest_fingerprint(&payload.digest())));
+                let Some(d) = pick_donor(&cands) else { return };
+                donor = d;
+                mode = "jump";
+            }
+        } else {
+            let Some(d) = pick_donor(&cands) else { return };
+            donor = d;
+            mode = "replay";
+        }
+        self.sync = SyncState::Fetching {
+            donor,
+            ckpt: ckpt_payload,
+            proof_slot,
+            target,
+            retries: 0,
+            boundary,
+        };
+        let p = self.me.0;
+        self.trace.emit(|| TraceEvent::StateTransferStart {
+            p,
+            from: my_wm,
+            to: target,
+            mode: mode.to_string(),
+        });
+        self.request_next(now, outs);
+    }
+
+    /// Sends the next fetch round to the donor and arms its retry timer.
+    /// The request range restarts at the current watermark, so whatever
+    /// already arrived (chunks, racing lazy updates) is never re-fetched.
+    fn request_next(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        let SyncState::Fetching {
+            donor,
+            proof_slot,
+            target,
+            retries,
+            ..
+        } = &self.sync
+        else {
+            return;
+        };
+        let (donor, proof_slot, target, retries) = (*donor, *proof_slot, *target, *retries);
+        let wm = self.log.watermark();
+        if wm >= target {
+            self.finish_sync(now, outs);
+            return;
+        }
+        self.sync_gen += 1;
+        let msg = if wm < proof_slot {
+            XpMsg::SyncFetch {
+                from_slot: wm,
+                to_slot: (wm + SYNC_CHUNK).min(proof_slot),
+                proof_slot,
+            }
+        } else {
+            XpMsg::StateFetch {
+                from_slot: wm,
+                to_slot: target,
+            }
+        };
+        outs.sends.push((donor, msg));
+        outs.timers.push((
+            self.sync_backoff(retries),
+            TimerId(TIMER_SYNC_BASE + self.sync_gen),
+        ));
+    }
+
+    /// Requester side of a compact fetch: each entry is verified against
+    /// the certified MMR root *before* it is applied — a forged or
+    /// tampered entry condemns the chunk and the donor, and nothing from
+    /// it touches the log.
+    fn on_sync_chunk(
+        &mut self,
+        now: qsel_simnet::SimTime,
+        sender: ProcessId,
+        entries: Vec<CompactEntry>,
+        proof_slot: u64,
+        outs: &mut Outs,
+    ) {
+        let SyncState::Fetching {
+            donor,
+            ckpt: Some(ckpt),
+            proof_slot: want_ps,
+            ..
+        } = &self.sync
+        else {
+            return;
+        };
+        if sender != *donor || proof_slot != *want_ps || self.log.watermark() >= proof_slot {
+            return; // unsolicited, mismatched, or stale
+        }
+        let root = qsel_mmr::root_of_peaks(ckpt.slot, &ckpt.peaks);
+        let first = entries.first().map_or(self.log.watermark(), |e| e.slot);
+        let mut bad = entries.is_empty(); // an empty answer means the donor reneged
+        let mut progressed = false;
+        for e in &entries {
+            let wm = self.log.watermark();
+            if e.slot < wm {
+                continue; // already applied (a racing lazy update won)
+            }
+            let leaf = qsel_mmr::leaf_hash(e.slot, &e.batch.digest());
+            if e.slot != wm
+                || e.slot >= proof_slot
+                || e.proof.leaf_index != e.slot
+                || e.proof.leaf_count != proof_slot
+                || !qsel_mmr::verify(&leaf, &e.proof, &root)
+            {
+                bad = true;
+                break;
+            }
+            if let Some(reqs) = self.log.apply_compact(e.slot, &e.batch) {
+                progressed = true;
+                for (s, req) in reqs {
+                    self.stats.executed += 1;
+                    self.trace.emit(|| TraceEvent::Executed {
+                        p: self.me.0,
+                        slot: s,
+                        digest: digest_fingerprint(&req.digest()),
+                    });
+                    outs.sends.push((
+                        req.client,
+                        XpMsg::Reply(Reply {
+                            view: self.view,
+                            op: req.op,
+                            result: s,
+                        }),
+                    ));
+                }
+            }
+        }
+        self.pump_checkpoints(now, outs);
+        if bad {
+            self.stats.chunks_rejected += 1;
+            let (p, from) = (self.me.0, sender.0);
+            self.trace.emit(|| TraceEvent::SyncChunkRejected {
+                p,
+                from,
+                slot: first,
+            });
+            self.fail_donor(now, outs);
+            return;
+        }
+        if let SyncState::Fetching {
+            retries, boundary, ..
+        } = &mut self.sync
+        {
+            if progressed {
+                *retries = 0;
+            }
+            if boundary.is_none() && self.log.watermark() >= proof_slot {
+                // Compact segment complete: our *recomputed* checkpoint
+                // payload at the certified boundary is the end-to-end
+                // integrity witness the replay analyzer compares against
+                // the certificate's digest.
+                if let Ok(p) = self.log.checkpoint_payload() {
+                    *boundary = Some((p.slot, digest_fingerprint(&p.digest())));
+                }
+            }
+        }
+        self.request_next(now, outs);
+    }
+
+    /// Called after StateBatch/LazyUpdate adoptions: when a certified
+    /// tail fetch is in flight, cursor movement is progress — request the
+    /// next round or finish. Without movement, the retry timer (not this
+    /// path) escalates, so an empty answer cannot spin a request loop.
+    fn sync_progress(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        let SyncState::Fetching {
+            proof_slot, target, ..
+        } = &self.sync
+        else {
+            return;
+        };
+        let (proof_slot, target) = (*proof_slot, *target);
+        let wm = self.log.watermark();
+        if wm < proof_slot {
+            return; // the compact segment drives itself chunk by chunk
+        }
+        if wm >= target {
+            self.finish_sync(now, outs);
+        } else if let SyncState::Fetching { retries, .. } = &mut self.sync {
+            *retries = 0;
+            self.request_next(now, outs);
+        }
+    }
+
+    /// Abandons the current donor (bad chunk or repeated timeouts) and
+    /// re-chooses from the remaining answers.
+    fn fail_donor(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        let SyncState::Fetching { donor, .. } = &self.sync else {
+            return;
+        };
+        self.sync_failed.insert(*donor);
+        self.sync = SyncState::Probing { retries: 0 };
+        self.sync_gen += 1; // invalidate the in-flight fetch timer
+        self.choose_donor(now, outs);
+    }
+
+    /// A probe or fetch round went unanswered (generation-checked).
+    fn on_sync_timeout(&mut self, now: qsel_simnet::SimTime, outs: &mut Outs) {
+        enum Act {
+            None,
+            Choose,
+            Reprobe(u32),
+            Fail,
+            Retry,
+        }
+        let act = match &mut self.sync {
+            SyncState::Idle => Act::None,
+            SyncState::Probing { retries } => {
+                if self
+                    .sync_infos
+                    .keys()
+                    .any(|k| !self.sync_failed.contains(k))
+                {
+                    Act::Choose
+                } else {
+                    Act::Reprobe(*retries + 1)
+                }
+            }
+            SyncState::Fetching { retries, .. } => {
+                if *retries >= SYNC_MAX_RETRIES {
+                    Act::Fail
+                } else {
+                    *retries += 1;
+                    Act::Retry
+                }
+            }
+        };
+        match act {
+            Act::None => {}
+            Act::Choose => self.choose_donor(now, outs),
+            Act::Reprobe(r) => self.start_probe(now, r, outs),
+            Act::Fail => self.fail_donor(now, outs),
+            Act::Retry => self.request_next(now, outs),
+        }
+    }
+
+    /// Completes the transfer: emits the done event carrying the
+    /// recomputed boundary digest (compact), the installed certificate
+    /// digest (jump), or the final recomputed payload digest (replay).
+    fn finish_sync(&mut self, _now: qsel_simnet::SimTime, _outs: &mut Outs) {
+        let boundary = match &self.sync {
+            SyncState::Fetching { boundary, .. } => *boundary,
+            _ => None,
+        };
+        let (slot, digest) = boundary.unwrap_or_else(|| {
+            let slot = self.log.watermark();
+            let digest = self
+                .log
+                .checkpoint_payload()
+                .map(|p| digest_fingerprint(&p.digest()))
+                .unwrap_or(0);
+            (slot, digest)
+        });
+        let p = self.me.0;
+        self.trace.emit(|| TraceEvent::StateTransferDone { p, slot, digest });
+        self.sync = SyncState::Idle;
+        self.sync_gen += 1;
+        self.sync_infos.clear();
+        self.sync_failed.clear();
+        // The stable checkpoint adopted at donor-choice time could only
+        // collect below our *then* watermark; now that the gap is closed,
+        // compact everything below it so the recovered replica's resident
+        // log is bounded by the checkpoint interval again.
+        if let Some(ckpt_slot) = self
+            .stable_ckpt
+            .as_ref()
+            .and_then(|c| c.payload())
+            .map(|pl| pl.slot)
+        {
+            let bound = ckpt_slot.min(self.log.watermark());
+            let collected = self
+                .log
+                .gc_below(ckpt_slot, self.rcfg.checkpoint.archive_retain);
+            if collected > 0 {
+                let len = self.log.log_len() as u64;
+                self.trace.emit(|| TraceEvent::LogGc {
+                    p,
+                    below: bound,
+                    len,
+                });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1296,6 +2109,12 @@ impl Replica {
                     XpMsg::LazyUpdate { .. }
                     | XpMsg::StateFetch { .. }
                     | XpMsg::StateBatch { .. } => {}
+                    XpMsg::Checkpoint(sc) => self.on_checkpoint(now, sc, outs),
+                    // Sync traffic is handled before the FD (handle_message).
+                    XpMsg::SyncQuery { .. }
+                    | XpMsg::SyncInfo { .. }
+                    | XpMsg::SyncFetch { .. }
+                    | XpMsg::SyncChunk { .. } => {}
                     XpMsg::Request(_) | XpMsg::Reply(_) => {}
                 },
                 FdOutput::Suspected(s) => match self.rcfg.policy {
@@ -1360,7 +2179,12 @@ impl Replica {
             XpMsg::NewView(m) => self.verifier.verify(m).ok().map(|_| m.signer),
             XpMsg::Update(m) => self.verifier.verify(m).ok().map(|_| m.signer),
             XpMsg::Heartbeat(m) => self.verifier.verify(m).ok().map(|_| m.signer),
+            XpMsg::Checkpoint(m) => self.verifier.verify(m).ok().map(|_| m.signer),
             XpMsg::LazyUpdate { .. } | XpMsg::StateFetch { .. } | XpMsg::StateBatch { .. } => None,
+            XpMsg::SyncQuery { .. }
+            | XpMsg::SyncInfo { .. }
+            | XpMsg::SyncFetch { .. }
+            | XpMsg::SyncChunk { .. } => None,
             XpMsg::Request(_) | XpMsg::Reply(_) => None,
         }
     }

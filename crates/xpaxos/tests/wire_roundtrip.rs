@@ -6,12 +6,14 @@
 
 use proptest::prelude::*;
 use qsel::messages::UpdateRow;
+use qsel_mmr::{leaf_hash, Mmr};
+use qsel_types::CheckpointPayload;
 use qsel_types::crypto::Keychain;
 use qsel_types::encode::{decode_from_slice, encode_to_vec};
 use qsel_types::{ClusterConfig, Epoch, ProcessId};
 use qsel_xpaxos::messages::{
-    Batch, CommitPayload, DecidedEntry, HeartbeatPayload, NewViewPayload, PreparePayload, Reply,
-    Request, ViewChangePayload, XpMsg,
+    Batch, CheckpointCert, CommitPayload, CompactEntry, DecidedEntry, HeartbeatPayload,
+    NewViewPayload, PreparePayload, Reply, Request, ViewChangePayload, XpMsg,
 };
 
 /// Builds one of every `XpMsg` variant from the given batch contents.
@@ -32,6 +34,7 @@ fn all_variants(view: u64, slot: u64, reqs: Vec<Request>) -> Vec<XpMsg> {
         digest: batch.digest(),
         prepare: prepare.clone(),
     });
+    let (ckpt_votes, compact_entries) = mmr_fixture(&chain, view, &batch);
     vec![
         XpMsg::Request(reqs.first().cloned().unwrap_or(Request {
             client: ProcessId(9),
@@ -75,7 +78,59 @@ fn all_variants(view: u64, slot: u64, reqs: Vec<Request>) -> Vec<XpMsg> {
                 commits: vec![],
             }],
         },
+        XpMsg::Checkpoint(ckpt_votes[0].clone()),
+        XpMsg::SyncQuery { watermark: slot },
+        XpMsg::SyncInfo {
+            checkpoint: Some(CheckpointCert { sigs: ckpt_votes }),
+            archive_from: slot / 2,
+            frontier: slot + 3,
+        },
+        XpMsg::SyncInfo {
+            checkpoint: None,
+            archive_from: 0,
+            frontier: slot,
+        },
+        XpMsg::SyncFetch {
+            from_slot: slot,
+            to_slot: slot + 5,
+            proof_slot: slot + 9,
+        },
+        XpMsg::SyncChunk {
+            entries: compact_entries,
+            proof_slot: slot + 9,
+        },
     ]
+}
+
+/// A real 3-leaf MMR over the batch digest: genuine inclusion proofs and
+/// peaks, so the checkpoint/sync variants round-trip production-shaped
+/// payloads rather than hand-rolled placeholder bytes.
+fn mmr_fixture(
+    chain: &Keychain,
+    view: u64,
+    batch: &Batch,
+) -> (Vec<qsel_xpaxos::messages::SignedCheckpoint>, Vec<CompactEntry>) {
+    let mut mmr = Mmr::new();
+    for leaf_slot in 0..3u64 {
+        mmr.push(leaf_hash(leaf_slot, &batch.digest()));
+    }
+    let payload = CheckpointPayload {
+        slot: 3,
+        state: view.wrapping_mul(7),
+        peaks: mmr.peaks().unwrap(),
+    };
+    let votes = vec![
+        chain.signer(ProcessId(1)).sign(payload.clone()),
+        chain.signer(ProcessId(2)).sign(payload),
+    ];
+    let entries = (0..3u64)
+        .map(|leaf_slot| CompactEntry {
+            slot: leaf_slot,
+            batch: batch.clone(),
+            proof: mmr.proof_at(leaf_slot, 3).unwrap(),
+        })
+        .collect();
+    (votes, entries)
 }
 
 proptest! {

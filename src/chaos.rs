@@ -19,6 +19,7 @@ use qsel_xpaxos::harness::{assert_safety, total_committed, ClusterBuilder, XpAct
 use qsel_xpaxos::messages::XpMsg;
 use qsel_xpaxos::policy::BatchPolicy;
 use qsel_xpaxos::replica::ReplicaConfig;
+use qsel_xpaxos::CheckpointPolicy;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -30,6 +31,13 @@ pub const F: u32 = 1;
 pub const CLIENTS: u32 = 2;
 /// Operations each client must commit.
 pub const OPS_PER_CLIENT: u64 = 6;
+/// Checkpoint interval used by chaos runs — deliberately tiny, so signed
+/// checkpoints, quorum stabilization and log compaction fire constantly
+/// *during* the fault schedule instead of only in long quiet runs.
+pub const CKPT_INTERVAL: u64 = 4;
+/// Compacted batches retained below the stable checkpoint for serving
+/// incremental state transfer.
+pub const ARCHIVE_RETAIN: u64 = 64;
 
 /// Post-heal grace period before declaring a liveness failure. Generous on
 /// purpose: chaos can legitimately back client retries off to their cap
@@ -155,14 +163,28 @@ pub fn build(seed: u64) -> Simulation<XpMsg, XpActor> {
 /// through every layer (simulator, replicas, detectors, selection modules,
 /// clients), running under the seed-derived [`batch_policy_for`].
 pub fn build_traced(seed: u64, sink: TraceSink) -> Simulation<XpMsg, XpActor> {
+    build_sized(seed, CLIENTS, OPS_PER_CLIENT, sink)
+}
+
+/// [`build_traced`] with an explicit workload size, for soaks that need
+/// enough slots that an unbounded log would visibly exceed the
+/// checkpoint-derived residency bound. Checkpointing runs at
+/// [`CKPT_INTERVAL`] in every chaos cluster.
+pub fn build_sized(
+    seed: u64,
+    clients: u32,
+    ops_per_client: u64,
+    sink: TraceSink,
+) -> Simulation<XpMsg, XpActor> {
     let cfg = ClusterConfig::new(N, F).unwrap();
     let rcfg = ReplicaConfig {
         batch: batch_policy_for(seed),
+        checkpoint: CheckpointPolicy::new(CKPT_INTERVAL, ARCHIVE_RETAIN),
         ..Default::default()
     };
     ClusterBuilder::new(cfg, seed)
         .replica_config(rcfg)
-        .clients(CLIENTS, OPS_PER_CLIENT)
+        .clients(clients, ops_per_client)
         .trace_sink(sink)
         .build()
 }
@@ -204,10 +226,22 @@ pub fn run_chaos(seed: u64) -> ChaosRun {
 /// nothing from the simulation's RNG, so the traced and untraced runs of a
 /// seed are the same execution.
 pub fn run_chaos_with_sink(seed: u64, sink: TraceSink) -> ChaosRun {
+    run_chaos_sized(seed, CLIENTS, OPS_PER_CLIENT, sink)
+}
+
+/// [`run_chaos_with_sink`] with an explicit workload size — the
+/// log-compaction soak drives enough slots past the checkpoint interval
+/// that the bounded-residency assertion is non-vacuous.
+pub fn run_chaos_sized(
+    seed: u64,
+    clients: u32,
+    ops_per_client: u64,
+    sink: TraceSink,
+) -> ChaosRun {
     let plan = plan_for(seed, N);
     let heal_time = plan.last_fault_time().expect("plan is never empty");
-    let expected = CLIENTS as u64 * OPS_PER_CLIENT;
-    let mut sim = build_traced(seed, sink);
+    let expected = clients as u64 * ops_per_client;
+    let mut sim = build_sized(seed, clients, ops_per_client, sink);
     sim.schedule_plan(plan.clone());
 
     // Safety must hold while faults are still active, not just at the end.

@@ -20,7 +20,11 @@
 //! message carries both, and `reruns_of_a_chaos_seed_are_identical` pins
 //! the reproducibility contract itself.
 
-use qsel_repro::chaos::{batch_policy_for, plan_for, run_chaos, ChaosRun, N};
+use qsel_obs::TraceSink;
+use qsel_repro::chaos::{
+    batch_policy_for, plan_for, run_chaos, run_chaos_sized, ChaosRun, ARCHIVE_RETAIN,
+    CKPT_INTERVAL, N,
+};
 use qsel_simnet::{FaultEvent, NetStats, SimDuration};
 use qsel_types::ProcessId;
 
@@ -66,12 +70,55 @@ fn chaos_soak_over_twenty_seeds() {
         total.events_buffered_paused > 0,
         "no run exercised gray-failure pauses\n{report}"
     );
-    // The merged per-kind map must cover the protocol's message families.
-    for kind in ["request", "prepare", "commit", "reply"] {
+    // The merged per-kind map must cover the protocol's message families —
+    // including signed checkpoints, which run at `CKPT_INTERVAL` in every
+    // chaos cluster, so compaction is exercised *under* faults.
+    for kind in ["request", "prepare", "commit", "reply", "checkpoint"] {
         assert!(
             total.by_kind.get(kind).copied().unwrap_or(0) > 0,
             "no run sent any {kind:?} messages\n{report}"
         );
+    }
+}
+
+#[test]
+fn chaos_log_memory_stays_bounded_by_compaction() {
+    // The GC contract under chaos: with checkpoints every `CKPT_INTERVAL`
+    // slots, a replica's resident agreement log must stay bounded by the
+    // checkpoint lag, not grow with history. Seeds 4 and 13 draw batch
+    // size 1, so the 2 × 60 closed-loop workload drives ~120 slots —
+    // far past the asserted residency bound, which an unbounded log
+    // would therefore visibly exceed.
+    for seed in [4u64, 13] {
+        let run = run_chaos_sized(seed, 2, 60, TraceSink::disabled());
+        assert!(
+            run.live(),
+            "liveness violation: seed {seed} committed {} of {} ops\nplan: {:?}",
+            run.committed,
+            run.expected,
+            run.plan,
+        );
+        // Stability lag: a checkpoint stabilizes at most ~2 intervals
+        // after capture; undecided pipeline slots add a little slack.
+        let bound = (4 * CKPT_INTERVAL) as usize + 16;
+        for p in (1..=N).map(ProcessId) {
+            let r = run.sim.actor(p).replica().unwrap();
+            assert!(
+                r.stats().checkpoints_stable > 0,
+                "seed {seed} at {p}: no checkpoint ever stabilized"
+            );
+            let len = r.log().log_len();
+            assert!(
+                len <= bound,
+                "seed {seed} at {p}: {len} resident slots exceed the \
+                 compaction bound {bound} (watermark {})",
+                r.log().watermark(),
+            );
+            assert!(
+                r.log().archive_len() <= ARCHIVE_RETAIN as usize,
+                "seed {seed} at {p}: transfer archive exceeds its retention"
+            );
+        }
     }
 }
 
@@ -95,9 +142,16 @@ fn reruns_of_a_chaos_seed_are_identical() {
             let rb = b.sim.actor(p).replica().unwrap();
             assert_eq!(ra.view(), rb.view(), "seed {seed} at {p}");
             assert_eq!(ra.log().watermark(), rb.log().watermark(), "seed {seed} at {p}");
+            assert_eq!(ra.log().log_len(), rb.log().log_len(), "seed {seed} at {p}");
+            assert_eq!(ra.log().gc_floor(), rb.log().gc_floor(), "seed {seed} at {p}");
             assert_eq!(
                 ra.stats().recoveries,
                 rb.stats().recoveries,
+                "seed {seed} at {p}"
+            );
+            assert_eq!(
+                ra.stats().checkpoints_stable,
+                rb.stats().checkpoints_stable,
                 "seed {seed} at {p}"
             );
         }
