@@ -99,7 +99,7 @@ fn main() -> ExitCode {
         rendered.join(",\n")
     );
 
-    let mut table = Table::new(vec!["scenario", "seed", "result", "failed checks"]);
+    let mut table = Table::new(vec!["scenario", "seed", "result", "p99 commit", "failed checks"]);
     for (_, v) in &cells {
         let failed_checks: Vec<&str> = v
             .checks
@@ -107,10 +107,16 @@ fn main() -> ExitCode {
             .filter(|c| !c.pass)
             .map(|c| c.name.as_str())
             .collect();
+        // Older verdicts (pre latency attribution) simply lack the metric.
+        let p99 = v
+            .metrics
+            .get("commit_latency_p99_us")
+            .map_or_else(|| "—".to_string(), |us| format!("{us} µs"));
         table.row(vec![
             v.scenario.clone(),
             v.seed.to_string(),
             if v.pass() { "✅ pass" } else { "❌ FAIL" }.to_string(),
+            p99,
             if failed_checks.is_empty() {
                 "—".to_string()
             } else {

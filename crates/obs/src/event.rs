@@ -258,6 +258,55 @@ pub enum TraceEvent {
         /// The first slot the rejected chunk claimed to cover.
         slot: u64,
     },
+    /// The leader admitted a client request into its proposal path (the
+    /// batch-wait clock starts here: passthrough proposes immediately, a
+    /// batching leader parks the request in `pending_batch`).
+    BatchAdmitted {
+        /// The admitting leader.
+        p: u32,
+        /// The requesting client id.
+        client: u32,
+        /// The client's operation number.
+        op: u64,
+    },
+    /// The leader proposed a specific request at a slot (one event per
+    /// request in the batch — the request-level twin of `batch_proposed`,
+    /// emitted in every mode including passthrough).
+    ReqProposed {
+        /// The proposing leader.
+        p: u32,
+        /// The slot the request's batch occupies.
+        slot: u64,
+        /// The requesting client id.
+        client: u32,
+        /// The client's operation number.
+        op: u64,
+    },
+    /// A replica recorded a previously-unseen COMMIT vote for an
+    /// undecided slot — the raw material of quorum-formation timing (the
+    /// gap between the first and last vote is the straggler gap).
+    CommitVote {
+        /// The replica recording the vote.
+        p: u32,
+        /// The voted slot.
+        slot: u64,
+        /// The voting replica.
+        from: u32,
+        /// Distinct votes held for the slot after recording this one.
+        have: u64,
+    },
+    /// A replica sent a client its reply for an executed request (emitted
+    /// at execution time, alongside `executed`).
+    ReplySent {
+        /// The replying replica.
+        p: u32,
+        /// The destination client id.
+        client: u32,
+        /// The client's operation number.
+        op: u64,
+        /// The slot the request executed at.
+        slot: u64,
+    },
 }
 
 impl TraceEvent {
@@ -294,6 +343,10 @@ impl TraceEvent {
             TraceEvent::StateTransferStart { .. } => "state_transfer_start",
             TraceEvent::StateTransferDone { .. } => "state_transfer_done",
             TraceEvent::SyncChunkRejected { .. } => "sync_chunk_rejected",
+            TraceEvent::BatchAdmitted { .. } => "batch_admitted",
+            TraceEvent::ReqProposed { .. } => "req_proposed",
+            TraceEvent::CommitVote { .. } => "commit_vote",
+            TraceEvent::ReplySent { .. } => "reply_sent",
         }
     }
 }
@@ -477,6 +530,29 @@ impl TraceRecord {
             TraceEvent::SyncChunkRejected { p, from, slot } => {
                 push_u64_field(out, "p", u64::from(*p));
                 push_u64_field(out, "from", u64::from(*from));
+                push_u64_field(out, "slot", *slot);
+            }
+            TraceEvent::BatchAdmitted { p, client, op } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "client", u64::from(*client));
+                push_u64_field(out, "op", *op);
+            }
+            TraceEvent::ReqProposed { p, slot, client, op } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+                push_u64_field(out, "client", u64::from(*client));
+                push_u64_field(out, "op", *op);
+            }
+            TraceEvent::CommitVote { p, slot, from, have } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "slot", *slot);
+                push_u64_field(out, "from", u64::from(*from));
+                push_u64_field(out, "have", *have);
+            }
+            TraceEvent::ReplySent { p, client, op, slot } => {
+                push_u64_field(out, "p", u64::from(*p));
+                push_u64_field(out, "client", u64::from(*client));
+                push_u64_field(out, "op", *op);
                 push_u64_field(out, "slot", *slot);
             }
         }

@@ -1,0 +1,211 @@
+//! Shared hand-rolled JSON primitives.
+//!
+//! One byte-cursor serves every JSON artifact this crate pins
+//! (`verdict.json` via [`crate::verdict`], the metrics snapshot via
+//! [`crate::metrics`], `latency_report.json` via [`crate::span`]): the
+//! same strict subset — objects, arrays, strings with the escapes
+//! [`json_str`] emits, integers, one-decimal floats and booleans — parsed
+//! without any external dependency.
+
+/// Escapes a string as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A byte cursor over a JSON document.
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    pub(crate) fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    pub(crate) fn parse_u64(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u64::from(b - b'0')))
+                .ok_or_else(|| format!("number overflow at byte {start}"))?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digit at byte {start}"));
+        }
+        Ok(v)
+    }
+
+    /// Parses an integer with an optional leading minus (gauges).
+    pub(crate) fn parse_i64(&mut self) -> Result<i64, String> {
+        let neg = self.peek() == Some(b'-');
+        if neg {
+            self.bump();
+        }
+        let mag = self.parse_u64()?;
+        if neg {
+            // i64::MIN magnitude still fits via unsigned negation.
+            i64::try_from(mag)
+                .map(|v| -v)
+                .map_err(|_| format!("number overflow at byte {}", self.pos))
+        } else {
+            i64::try_from(mag).map_err(|_| format!("number overflow at byte {}", self.pos))
+        }
+    }
+
+    /// Parses a JSON number (optional sign, digits, optional fraction)
+    /// into an `f64`. One-decimal floats formatted with `{:.1}` survive a
+    /// parse/format round trip byte-for-byte.
+    pub(crate) fn parse_f64(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("bad UTF-8 in number: {e}"))?;
+        text.parse::<f64>()
+            .map_err(|_| format!("expected number at byte {start}"))
+    }
+
+    pub(crate) fn parse_bool(&mut self) -> Result<bool, String> {
+        for (lit, val) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                return Ok(val);
+            }
+        }
+        Err(format!("expected bool at byte {}", self.pos))
+    }
+
+    pub(crate) fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        let mut utf8 = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    if !utf8.is_empty() {
+                        s.push_str(
+                            std::str::from_utf8(&utf8).map_err(|e| format!("bad UTF-8: {e}"))?,
+                        );
+                    }
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    if !utf8.is_empty() {
+                        s.push_str(
+                            std::str::from_utf8(&utf8).map_err(|e| format!("bad UTF-8: {e}"))?,
+                        );
+                        utf8.clear();
+                    }
+                    match self.bump() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self.bump().ok_or("truncated \\u escape")?;
+                                code = code * 16
+                                    + (d as char)
+                                        .to_digit(16)
+                                        .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                            }
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|b| b as char)));
+                        }
+                    }
+                }
+                Some(b) => utf8.push(b),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_and_float_numbers() {
+        let mut c = Cursor::new("-42");
+        assert_eq!(c.parse_i64().unwrap(), -42);
+        let mut c = Cursor::new("123.5");
+        assert_eq!(c.parse_f64().unwrap(), 123.5);
+        let mut c = Cursor::new("0.0");
+        assert_eq!(c.parse_f64().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn one_decimal_floats_reformat_identically() {
+        for text in ["0.0", "1.5", "333.3", "1234567.9"] {
+            let mut c = Cursor::new(text);
+            let v = c.parse_f64().unwrap();
+            assert_eq!(format!("{v:.1}"), text);
+        }
+    }
+}

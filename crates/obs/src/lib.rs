@@ -20,7 +20,11 @@
 //!
 //! A fourth piece, [`Verdict`], packages the outcome of an analyzed run —
 //! named pass/fail checks plus a metrics summary — as round-tripping JSON
-//! for CI artifacts and league aggregation.
+//! for CI artifacts and league aggregation. A fifth, [`span`], rebuilds
+//! each committed request's causal span from the trace and decomposes its
+//! end-to-end latency into named phases ([`SpanReport`]), feeding the
+//! `latency_report.json` artifact and the scenario DSL's `[expect]` SLO
+//! checks.
 //!
 //! Timestamps are plain `u64` microseconds of simulated time: this crate
 //! sits *below* `qsel-simnet` in the dependency graph (the simulator emits
@@ -46,13 +50,16 @@
 #![warn(missing_docs)]
 
 pub mod event;
+mod json;
 pub mod metrics;
 pub mod replay;
 pub mod sink;
+pub mod span;
 pub mod verdict;
 
 pub use event::{TraceEvent, TraceRecord};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use replay::{ReplayConfig, ReplayReport, Violation};
 pub use sink::{TraceConfig, TraceSink};
+pub use span::{RequestSpan, SpanReport, PHASES};
 pub use verdict::{Check, Verdict};

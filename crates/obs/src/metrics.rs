@@ -8,11 +8,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::event::{TraceEvent, TraceRecord};
+use crate::json::Cursor;
 
 /// A fixed-bucket histogram over `u64` samples.
 ///
 /// `bounds` are inclusive upper edges; a final implicit overflow bucket
-/// catches everything above the last bound.
+/// catches everything above the last bound. Raw samples are retained so
+/// quantile queries ([`Histogram::percentile`]) are exact rather than
+/// bucket-interpolated.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     bounds: Vec<u64>,
@@ -21,6 +24,7 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    samples: Vec<u64>,
 }
 
 impl Histogram {
@@ -42,6 +46,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            samples: Vec::new(),
         }
     }
 
@@ -53,6 +58,20 @@ impl Histogram {
         self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        self.samples.push(v);
+    }
+
+    /// The exact q-th percentile (nearest-rank over retained samples), or
+    /// 0 with no samples. `q` is clamped to `1..=100`; bucket edges play
+    /// no role, so an all-in-overflow-bucket histogram still answers
+    /// exactly.
+    pub fn percentile(&self, q: u32) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted[nearest_rank_index(sorted.len(), q)]
     }
 
     /// Number of samples.
@@ -161,10 +180,13 @@ impl MetricsRegistry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "histogram {name}: count={} min={} mean={:.1} max={}",
+                "histogram {name}: count={} min={} mean={:.1} p50={} p90={} p99={} max={}",
                 h.count(),
                 h.min(),
                 h.mean(),
+                h.percentile(50),
+                h.percentile(90),
+                h.percentile(99),
                 h.max()
             );
             for (edge, c) in h.buckets() {
@@ -205,11 +227,14 @@ impl MetricsRegistry {
             }
             let _ = write!(
                 out,
-                "\"{name}\":{{\"count\":{},\"min\":{},\"mean\":{:.1},\"max\":{},\"buckets\":[",
+                "\"{name}\":{{\"count\":{},\"min\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
                 h.count(),
                 h.min(),
                 h.mean(),
-                h.max()
+                h.max(),
+                h.percentile(50),
+                h.percentile(90),
+                h.percentile(99)
             );
             for (j, (edge, c)) in h.buckets().into_iter().enumerate() {
                 if j > 0 {
@@ -226,6 +251,281 @@ impl MetricsRegistry {
         out.push_str("}}");
         out
     }
+}
+
+/// Nearest-rank index into a sorted sample set of size `n` for the q-th
+/// percentile: `ceil(q/100 * n) - 1`, with `q` clamped to `1..=100`.
+fn nearest_rank_index(n: usize, q: u32) -> usize {
+    let q = q.clamp(1, 100) as usize;
+    // ceil(q * n / 100), at least 1, at most n.
+    let rank = (q * n).div_ceil(100).max(1);
+    rank - 1
+}
+
+/// The exact q-th percentile (nearest rank) of an already-sorted slice,
+/// or 0 when empty.
+pub fn percentile_sorted(sorted: &[u64], q: u32) -> u64 {
+    if sorted.is_empty() {
+        0
+    } else {
+        sorted[nearest_rank_index(sorted.len(), q)]
+    }
+}
+
+/// A parsed [`MetricsRegistry::render_json`] histogram: the summary
+/// statistics and bucket layout, without the raw samples (which the JSON
+/// snapshot intentionally omits).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample (0 with no samples).
+    pub min: u64,
+    /// Mean sample as rendered (one decimal place).
+    pub mean: f64,
+    /// Largest sample (0 with no samples).
+    pub max: u64,
+    /// Exact nearest-rank 50th percentile.
+    pub p50: u64,
+    /// Exact nearest-rank 90th percentile.
+    pub p90: u64,
+    /// Exact nearest-rank 99th percentile.
+    pub p99: u64,
+    /// `(upper_edge, count)` pairs; `None` is the overflow (`+inf`) edge.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+/// A parsed [`MetricsRegistry::render_json`] document.
+///
+/// This is the read side of the snapshot format: the league tooling (and
+/// tests pinning the format) parse `metrics.json` back into this shape
+/// and can re-serialize it byte-identically with
+/// [`MetricsSnapshot::render_json`].
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Parses a document produced by [`MetricsRegistry::render_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset message on malformed input, unknown keys, or
+    /// missing sections — the snapshot format is pinned exactly, like
+    /// `verdict.json`.
+    pub fn parse_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut cur = Cursor::new(text);
+        let mut snap = MetricsSnapshot::default();
+        let mut seen = [false; 3];
+        cur.skip_ws();
+        cur.expect(b'{')?;
+        loop {
+            cur.skip_ws();
+            if cur.peek() == Some(b'}') {
+                cur.bump();
+                break;
+            }
+            let key = cur.parse_string()?;
+            cur.skip_ws();
+            cur.expect(b':')?;
+            cur.skip_ws();
+            match key.as_str() {
+                "counters" => {
+                    seen[0] = true;
+                    parse_flat_object(&mut cur, |name, c| {
+                        let v = c.parse_u64()?;
+                        snap.counters.insert(name, v);
+                        Ok(())
+                    })?;
+                }
+                "gauges" => {
+                    seen[1] = true;
+                    parse_flat_object(&mut cur, |name, c| {
+                        let v = c.parse_i64()?;
+                        snap.gauges.insert(name, v);
+                        Ok(())
+                    })?;
+                }
+                "histograms" => {
+                    seen[2] = true;
+                    parse_flat_object(&mut cur, |name, c| {
+                        let h = parse_histogram(c)?;
+                        snap.histograms.insert(name, h);
+                        Ok(())
+                    })?;
+                }
+                other => return Err(format!("unknown metrics key {other:?}")),
+            }
+            cur.skip_ws();
+            if cur.peek() == Some(b',') {
+                cur.bump();
+            }
+        }
+        cur.skip_ws();
+        if cur.peek().is_some() {
+            return Err(format!("trailing bytes at {}", cur.pos));
+        }
+        if !seen.iter().all(|s| *s) {
+            return Err("metrics snapshot missing counters, gauges, or histograms".to_string());
+        }
+        Ok(snap)
+    }
+
+    /// Re-serializes in the exact [`MetricsRegistry::render_json`] layout,
+    /// so `parse_json(text).render_json() == text` for any rendered
+    /// registry.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"min\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                h.count, h.min, h.mean, h.max, h.p50, h.p90, h.p99
+            );
+            for (j, (edge, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match edge {
+                    None => {
+                        let _ = write!(out, "[\"+inf\",{c}]");
+                    }
+                    Some(e) => {
+                        let _ = write!(out, "[{e},{c}]");
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Parses `{ "name": <value>, ... }` where `each` consumes one value.
+fn parse_flat_object(
+    cur: &mut Cursor<'_>,
+    mut each: impl FnMut(String, &mut Cursor<'_>) -> Result<(), String>,
+) -> Result<(), String> {
+    cur.expect(b'{')?;
+    loop {
+        cur.skip_ws();
+        if cur.peek() == Some(b'}') {
+            cur.bump();
+            return Ok(());
+        }
+        let name = cur.parse_string()?;
+        cur.skip_ws();
+        cur.expect(b':')?;
+        cur.skip_ws();
+        each(name, cur)?;
+        cur.skip_ws();
+        if cur.peek() == Some(b',') {
+            cur.bump();
+        }
+    }
+}
+
+fn parse_histogram(cur: &mut Cursor<'_>) -> Result<HistogramSnapshot, String> {
+    let mut h = HistogramSnapshot {
+        count: 0,
+        min: 0,
+        mean: 0.0,
+        max: 0,
+        p50: 0,
+        p90: 0,
+        p99: 0,
+        buckets: Vec::new(),
+    };
+    let mut seen: Vec<String> = Vec::new();
+    cur.expect(b'{')?;
+    loop {
+        cur.skip_ws();
+        if cur.peek() == Some(b'}') {
+            cur.bump();
+            break;
+        }
+        let key = cur.parse_string()?;
+        cur.skip_ws();
+        cur.expect(b':')?;
+        cur.skip_ws();
+        match key.as_str() {
+            "count" => h.count = cur.parse_u64()?,
+            "min" => h.min = cur.parse_u64()?,
+            "mean" => h.mean = cur.parse_f64()?,
+            "max" => h.max = cur.parse_u64()?,
+            "p50" => h.p50 = cur.parse_u64()?,
+            "p90" => h.p90 = cur.parse_u64()?,
+            "p99" => h.p99 = cur.parse_u64()?,
+            "buckets" => {
+                cur.expect(b'[')?;
+                loop {
+                    cur.skip_ws();
+                    if cur.peek() == Some(b']') {
+                        cur.bump();
+                        break;
+                    }
+                    cur.expect(b'[')?;
+                    cur.skip_ws();
+                    let edge = if cur.peek() == Some(b'"') {
+                        let lit = cur.parse_string()?;
+                        if lit != "+inf" {
+                            return Err(format!("bad bucket edge {lit:?}"));
+                        }
+                        None
+                    } else {
+                        Some(cur.parse_u64()?)
+                    };
+                    cur.skip_ws();
+                    cur.expect(b',')?;
+                    cur.skip_ws();
+                    let c = cur.parse_u64()?;
+                    cur.skip_ws();
+                    cur.expect(b']')?;
+                    h.buckets.push((edge, c));
+                    cur.skip_ws();
+                    if cur.peek() == Some(b',') {
+                        cur.bump();
+                    }
+                }
+            }
+            other => return Err(format!("unknown histogram key {other:?}")),
+        }
+        seen.push(key);
+        cur.skip_ws();
+        if cur.peek() == Some(b',') {
+            cur.bump();
+        }
+    }
+    for required in ["count", "min", "mean", "max", "p50", "p90", "p99", "buckets"] {
+        if !seen.iter().any(|k| k == required) {
+            return Err(format!("histogram missing key {required:?}"));
+        }
+    }
+    Ok(h)
 }
 
 /// Bucket edges (µs) for commit-latency and view-change-duration
@@ -421,6 +721,102 @@ mod tests {
         assert_eq!(h.max(), 4);
         assert_eq!(m.counter("batch.requests_decided"), 8);
         assert_eq!(m.counter("events.batch_committed"), 2);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50), 50);
+        assert_eq!(h.percentile(90), 90);
+        assert_eq!(h.percentile(99), 99);
+        assert_eq!(h.percentile(100), 100);
+        assert_eq!(h.percentile(1), 1);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let mut h = Histogram::new(&[10]);
+        h.record(7);
+        for q in [1, 50, 90, 99, 100] {
+            assert_eq!(h.percentile(q), 7, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_all_in_overflow_bucket() {
+        // Every sample lands above the last edge; bucket counts alone
+        // could only answer "> 10", the retained samples answer exactly.
+        let mut h = Histogram::new(&[10]);
+        for v in [1_000, 2_000, 3_000, 4_000] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets()[1], (u64::MAX, 4));
+        assert_eq!(h.percentile(50), 2_000);
+        assert_eq!(h.percentile(99), 4_000);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.percentile(99), 0);
+    }
+
+    #[test]
+    fn percentile_sorted_helper() {
+        assert_eq!(percentile_sorted(&[], 99), 0);
+        assert_eq!(percentile_sorted(&[5], 50), 5);
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile_sorted(&v, 50), 5);
+        assert_eq!(percentile_sorted(&v, 90), 9);
+        assert_eq!(percentile_sorted(&v, 99), 10);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_render_json_exactly() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("events.prepare", 41);
+        m.counter_add("batch.requests_decided", 12);
+        m.gauge_set("trace.records", 512);
+        m.gauge_set("negative", -7);
+        for v in [50, 150, 2_000_000] {
+            m.histogram_record("commit_latency_us", &LATENCY_BOUNDS_US, v);
+        }
+        let text = m.render_json();
+        let snap = MetricsSnapshot::parse_json(&text).expect("parse");
+        assert_eq!(snap.counters.get("events.prepare"), Some(&41));
+        assert_eq!(snap.gauges.get("negative"), Some(&-7));
+        let h = &snap.histograms["commit_latency_us"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.p50, 150);
+        assert_eq!(h.p99, 2_000_000);
+        // Canonical: reparse + re-render is byte-identical.
+        assert_eq!(snap.render_json(), text);
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_keys() {
+        let err = MetricsSnapshot::parse_json("{\"counters\":{},\"gauges\":{},\"bogus\":{}}")
+            .expect_err("unknown key must fail");
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_golden_format_is_pinned() {
+        // A hand-written golden pins the on-disk snapshot grammar: if
+        // render_json changes shape, this fails loudly (like verdict.json).
+        let golden = "{\"counters\":{\"c\":1},\"gauges\":{\"g\":-2},\"histograms\":{\
+                      \"h\":{\"count\":1,\"min\":4,\"mean\":4.0,\"max\":4,\
+                      \"p50\":4,\"p90\":4,\"p99\":4,\"buckets\":[[10,1],[\"+inf\",0]]}}}";
+        let snap = MetricsSnapshot::parse_json(golden).expect("golden parses");
+        assert_eq!(snap.render_json(), golden);
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", 1);
+        m.gauge_set("g", -2);
+        m.histogram_record("h", &[10], 4);
+        assert_eq!(m.render_json(), golden, "registry render matches golden");
     }
 
     #[test]

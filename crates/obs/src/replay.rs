@@ -419,6 +419,29 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
                 from: u32_field(&fields, "from", line_no)?,
                 slot: u64_field(&fields, "slot", line_no)?,
             },
+            "batch_admitted" => TraceEvent::BatchAdmitted {
+                p: u32_field(&fields, "p", line_no)?,
+                client: u32_field(&fields, "client", line_no)?,
+                op: u64_field(&fields, "op", line_no)?,
+            },
+            "req_proposed" => TraceEvent::ReqProposed {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                client: u32_field(&fields, "client", line_no)?,
+                op: u64_field(&fields, "op", line_no)?,
+            },
+            "commit_vote" => TraceEvent::CommitVote {
+                p: u32_field(&fields, "p", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+                from: u32_field(&fields, "from", line_no)?,
+                have: u64_field(&fields, "have", line_no)?,
+            },
+            "reply_sent" => TraceEvent::ReplySent {
+                p: u32_field(&fields, "p", line_no)?,
+                client: u32_field(&fields, "client", line_no)?,
+                op: u64_field(&fields, "op", line_no)?,
+                slot: u64_field(&fields, "slot", line_no)?,
+            },
             other => return Err(format!("line {line_no}: unknown event \"{other}\"")),
         };
         records.push(TraceRecord { seq, t, event });
@@ -879,6 +902,29 @@ mod tests {
                 p: 4,
                 from: 1,
                 slot: 300,
+            },
+            TraceEvent::BatchAdmitted {
+                p: 0,
+                client: 10,
+                op: 7,
+            },
+            TraceEvent::ReqProposed {
+                p: 0,
+                slot: 9,
+                client: 10,
+                op: 7,
+            },
+            TraceEvent::CommitVote {
+                p: 0,
+                slot: 9,
+                from: 2,
+                have: 3,
+            },
+            TraceEvent::ReplySent {
+                p: 0,
+                client: 10,
+                op: 7,
+                slot: 9,
             },
         ];
         let records: Vec<TraceRecord> = events

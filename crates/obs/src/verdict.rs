@@ -10,6 +10,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::json::{json_str, Cursor};
+
 /// One named invariant check inside a [`Verdict`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Check {
@@ -112,10 +114,7 @@ impl Verdict {
     ///
     /// Returns a byte-offset message on malformed input or missing keys.
     pub fn parse_json(text: &str) -> Result<Verdict, String> {
-        let mut cur = Cursor {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
+        let mut cur = Cursor::new(text);
         let mut v = Verdict::default();
         let mut have_scenario = false;
         let mut have_seed = false;
@@ -250,137 +249,6 @@ fn parse_check(cur: &mut Cursor<'_>) -> Result<Check, String> {
     match (name, pass, detail) {
         (Some(name), Some(pass), Some(detail)) => Ok(Check { name, pass, detail }),
         _ => Err("check missing name, pass, or detail".to_string()),
-    }
-}
-
-/// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Cursor<'_> {
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek();
-        if b.is_some() {
-            self.pos += 1;
-        }
-        b
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        match self.bump() {
-            Some(got) if got == b => Ok(()),
-            got => Err(format!(
-                "expected {:?} at byte {}, got {:?}",
-                b as char,
-                self.pos.saturating_sub(1),
-                got.map(|g| g as char)
-            )),
-        }
-    }
-
-    fn parse_u64(&mut self) -> Result<u64, String> {
-        let start = self.pos;
-        let mut v: u64 = 0;
-        while let Some(b @ b'0'..=b'9') = self.peek() {
-            v = v
-                .checked_mul(10)
-                .and_then(|v| v.checked_add(u64::from(b - b'0')))
-                .ok_or_else(|| format!("number overflow at byte {start}"))?;
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(format!("expected digit at byte {start}"));
-        }
-        Ok(v)
-    }
-
-    fn parse_bool(&mut self) -> Result<bool, String> {
-        for (lit, val) in [("true", true), ("false", false)] {
-            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-                self.pos += lit.len();
-                return Ok(val);
-            }
-        }
-        Err(format!("expected bool at byte {}", self.pos))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        let mut utf8 = Vec::new();
-        loop {
-            match self.bump() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    if !utf8.is_empty() {
-                        s.push_str(
-                            std::str::from_utf8(&utf8).map_err(|e| format!("bad UTF-8: {e}"))?,
-                        );
-                    }
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    if !utf8.is_empty() {
-                        s.push_str(
-                            std::str::from_utf8(&utf8).map_err(|e| format!("bad UTF-8: {e}"))?,
-                        );
-                        utf8.clear();
-                    }
-                    match self.bump() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'u') => {
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let d = self.bump().ok_or("truncated \\u escape")?;
-                                code = code * 16
-                                    + (d as char)
-                                        .to_digit(16)
-                                        .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
-                            }
-                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                        }
-                        other => {
-                            return Err(format!("bad escape {:?}", other.map(|b| b as char)));
-                        }
-                    }
-                }
-                Some(b) => utf8.push(b),
-            }
-        }
     }
 }
 

@@ -34,6 +34,6 @@ pub mod spec;
 pub use parse::parse;
 pub use runner::{compile_plan, run_scenario, RunArtifacts};
 pub use spec::{
-    Adversary, Algorithm, BatchSpec, CheckpointSpec, Cluster, Fault, FaultKind, GeoLink, RunSpec,
-    Scenario, Workload, WorkloadMode,
+    Adversary, Algorithm, BatchSpec, CheckpointSpec, Cluster, ExpectSpec, Fault, FaultKind,
+    GeoLink, RunSpec, Scenario, Workload, WorkloadMode,
 };

@@ -4,8 +4,8 @@
 //! external dependency:
 //!
 //! * full-line comments starting with `#`, and blank lines;
-//! * `[section]` headers (`cluster`, `workload`, `batch`, `adversary`,
-//!   `run`) — each may appear at most once;
+//! * `[section]` headers (`cluster`, `workload`, `batch`, `checkpoint`,
+//!   `adversary`, `run`, `expect`) — each may appear at most once;
 //! * repeatable `[[link]]` and `[[fault]]` headers;
 //! * `key = value` lines, where a value is an unsigned integer, `true` /
 //!   `false`, a `"quoted string"` (no escapes), or an integer array
@@ -209,7 +209,15 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
                 .ok_or_else(|| format!("line {line_no}: malformed section header {line:?}"))?
                 .trim();
             flush(&mut pending, &mut sc)?;
-            let known = ["cluster", "workload", "batch", "checkpoint", "adversary", "run"];
+            let known = [
+                "cluster",
+                "workload",
+                "batch",
+                "checkpoint",
+                "adversary",
+                "run",
+                "expect",
+            ];
             let section = *known.iter().find(|k| **k == name).ok_or_else(|| {
                 format!(
                     "line {line_no}: unknown section [{name}] (known: {}, \
@@ -398,6 +406,17 @@ fn finish_single(section: &'static str, mut f: Fields, sc: &mut Scenario) -> Res
             }
             sc.run.stable_from_us = f.take_int("stable_from_us")?;
         }
+        "expect" => {
+            sc.expect.commit_p50_us = f.take_int("commit_p50_us")?;
+            sc.expect.commit_p99_us = f.take_int("commit_p99_us")?;
+            sc.expect.client_backoff_p99_us = f.take_int("client_backoff_p99_us")?;
+            sc.expect.request_network_p99_us = f.take_int("request_network_p99_us")?;
+            sc.expect.batch_wait_p99_us = f.take_int("batch_wait_p99_us")?;
+            sc.expect.quorum_wait_p99_us = f.take_int("quorum_wait_p99_us")?;
+            sc.expect.execute_p99_us = f.take_int("execute_p99_us")?;
+            sc.expect.reply_p99_us = f.take_int("reply_p99_us")?;
+            sc.expect.straggler_gap_p99_us = f.take_int("straggler_gap_p99_us")?;
+        }
         _ => unreachable!("caller only routes known sections"),
     }
     f.finish(section)
@@ -500,6 +519,10 @@ settle_us = 9000000
 min_commit_permille = 900
 stable_from_us = 1234
 
+[expect]
+commit_p99_us = 500000
+quorum_wait_p99_us = 200000
+
 [[link]]
 from = 1
 to = 2
@@ -526,6 +549,9 @@ kind = "heal_all"
         assert_eq!(sc.workload.mode, WorkloadMode::Open);
         assert_eq!(sc.adversary.strategy, Strategy::Gray { delay_us: 2500 });
         assert_eq!(sc.run.stable_from_us, Some(1234));
+        assert_eq!(sc.expect.commit_p99_us, Some(500000));
+        assert_eq!(sc.expect.quorum_wait_p99_us, Some(200000));
+        assert_eq!(sc.expect.commit_p50_us, None);
         assert_eq!(sc.links.len(), 1);
         assert!(!sc.links[0].symmetric);
         assert_eq!(sc.faults.len(), 2);
@@ -604,6 +630,14 @@ kind = "heal_all"
         let bad_strategy = "name = \"x\"\n\n[adversary]\nstrategy = \"warp\"\n";
         let err = parse(bad_strategy).expect_err("bad strategy");
         assert!(err.contains("unknown adversary strategy"), "{err}");
+    }
+
+    #[test]
+    fn unknown_expect_key_is_rejected() {
+        let text = "name = \"x\"\n\n[expect]\ncommit_p98_us = 5\n";
+        let err = parse(text).expect_err("unknown SLO key must fail");
+        assert!(err.starts_with("line 4:"), "{err}");
+        assert!(err.contains("unknown key \"commit_p98_us\""), "{err}");
     }
 
     #[test]

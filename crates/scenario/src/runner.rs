@@ -19,8 +19,9 @@
 //! links that cross a partition cut as both geo-delayed and dropping.
 
 use qsel_adversary::registry::Strategy;
-use qsel_obs::metrics::standard_metrics;
+use qsel_obs::metrics::{percentile_sorted, standard_metrics};
 use qsel_obs::replay::{analyze, parse_jsonl};
+use qsel_obs::span::{SpanReport, PHASES};
 use qsel_obs::{ReplayConfig, TraceSink, Verdict};
 use qsel_simnet::{DelayModel, FaultEvent, FaultPlan, LinkState, SimDuration, SimTime};
 use qsel_types::{ClusterConfig, ProcessId};
@@ -42,6 +43,10 @@ pub struct RunArtifacts {
     pub metrics_json: String,
     /// The standard metrics registry, rendered as text.
     pub metrics_text: String,
+    /// Per-request critical-path latency attribution
+    /// ([`qsel_obs::span::SpanReport::to_json`]), canonical
+    /// `latency_report.json` bytes.
+    pub latency_report: String,
 }
 
 /// Runs one scenario at one seed. See the module docs for the pipeline.
@@ -301,12 +306,76 @@ pub fn run_scenario(sc: &Scenario, seed: u64) -> Result<RunArtifacts, String> {
     verdict.metric("messages_dropped", stats.messages_dropped);
     verdict.metric("faults_injected", stats.faults_injected);
 
+    // Causal span analysis: reconstruct every committed request's critical
+    // path, fold the latency quantiles into the verdict's metric block, and
+    // turn each `[expect]` ceiling into a first-class pass/fail check.
+    let spans = SpanReport::build(&records);
+    let lat = spans.latencies_sorted();
+    let attributed = spans.spans.len() as u64;
+    verdict.metric("spans_attributed", attributed);
+    verdict.metric("spans_unattributed", spans.unattributed.len() as u64);
+    verdict.metric("commit_latency_p50_us", percentile_sorted(&lat, 50));
+    verdict.metric("commit_latency_p90_us", percentile_sorted(&lat, 90));
+    verdict.metric("commit_latency_p99_us", percentile_sorted(&lat, 99));
+    for (i, name) in PHASES.iter().enumerate() {
+        verdict.metric(
+            &format!("{name}_p99_us"),
+            percentile_sorted(&spans.phase_sorted(i), 99),
+        );
+    }
+    verdict.metric(
+        "straggler_gap_p99_us",
+        percentile_sorted(&spans.straggler_sorted(), 99),
+    );
+    let observed = |key: &str| -> u64 {
+        match key {
+            "commit_p50_us" => percentile_sorted(&lat, 50),
+            "commit_p99_us" => percentile_sorted(&lat, 99),
+            "straggler_gap_p99_us" => percentile_sorted(&spans.straggler_sorted(), 99),
+            other => {
+                // The remaining ExpectSpec keys are `<phase>_p99_us`; the
+                // parser only admits the nine declared names, so a miss
+                // here is a programming error, not bad input.
+                let phase = other
+                    .strip_suffix("_p99_us")
+                    .expect("expect key ends in _p99_us");
+                let i = PHASES
+                    .iter()
+                    .position(|p| *p == phase)
+                    .expect("expect key names a span phase");
+                percentile_sorted(&spans.phase_sorted(i), 99)
+            }
+        }
+    };
+    for (key, ceiling) in sc.expect.entries() {
+        let Some(ceiling) = ceiling else { continue };
+        let name = format!("expect_{key}");
+        if lat.is_empty() {
+            // A declared ceiling with no attributed spans fails: absence
+            // of evidence must not read green in CI.
+            verdict.check(
+                &name,
+                false,
+                format!("ceiling {ceiling}us declared but zero spans attributed"),
+            );
+        } else {
+            let got = observed(key);
+            verdict.check(
+                &name,
+                got <= ceiling,
+                format!("observed {got}us vs ceiling {ceiling}us over {attributed} span(s)"),
+            );
+        }
+    }
+    let latency_report = spans.to_json(&sc.name, seed);
+
     let metrics = standard_metrics(&records);
     Ok(RunArtifacts {
         verdict,
         trace_jsonl,
         metrics_json: metrics.render_json(),
         metrics_text: metrics.render_text(),
+        latency_report,
     })
 }
 

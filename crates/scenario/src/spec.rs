@@ -293,6 +293,58 @@ impl Default for RunSpec {
     }
 }
 
+/// `[expect]` — latency SLO ceilings folded into the verdict as
+/// first-class checks. Every field is an optional inclusive ceiling in
+/// simulated microseconds on an exact (nearest-rank) quantile of the
+/// causal span decomposition (`qsel_obs::span`); an absent field checks
+/// nothing. A declared ceiling over a run with zero attributed spans
+/// **fails** — no evidence must not read green.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ExpectSpec {
+    /// Ceiling on end-to-end commit-latency p50.
+    pub commit_p50_us: Option<u64>,
+    /// Ceiling on end-to-end commit-latency p99.
+    pub commit_p99_us: Option<u64>,
+    /// Ceiling on the `client_backoff` phase p99.
+    pub client_backoff_p99_us: Option<u64>,
+    /// Ceiling on the `request_network` phase p99.
+    pub request_network_p99_us: Option<u64>,
+    /// Ceiling on the `batch_wait` phase p99.
+    pub batch_wait_p99_us: Option<u64>,
+    /// Ceiling on the `quorum_wait` phase p99.
+    pub quorum_wait_p99_us: Option<u64>,
+    /// Ceiling on the `execute` phase p99.
+    pub execute_p99_us: Option<u64>,
+    /// Ceiling on the `reply` phase p99.
+    pub reply_p99_us: Option<u64>,
+    /// Ceiling on the straggler-gap (first-to-last COMMIT vote) p99.
+    pub straggler_gap_p99_us: Option<u64>,
+}
+
+impl ExpectSpec {
+    /// `(key, ceiling)` pairs in canonical file order — one source of
+    /// truth for serialization, parsing, and verdict-check naming.
+    pub fn entries(&self) -> [(&'static str, Option<u64>); 9] {
+        [
+            ("commit_p50_us", self.commit_p50_us),
+            ("commit_p99_us", self.commit_p99_us),
+            ("client_backoff_p99_us", self.client_backoff_p99_us),
+            ("request_network_p99_us", self.request_network_p99_us),
+            ("batch_wait_p99_us", self.batch_wait_p99_us),
+            ("quorum_wait_p99_us", self.quorum_wait_p99_us),
+            ("execute_p99_us", self.execute_p99_us),
+            ("reply_p99_us", self.reply_p99_us),
+            ("straggler_gap_p99_us", self.straggler_gap_p99_us),
+        ]
+    }
+
+    /// Whether no ceiling is declared (the `[expect]` section is then
+    /// omitted from the canonical form).
+    pub fn is_empty(&self) -> bool {
+        self.entries().iter().all(|(_, v)| v.is_none())
+    }
+}
+
 /// A complete declarative scenario.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct Scenario {
@@ -315,6 +367,8 @@ pub struct Scenario {
     pub faults: Vec<Fault>,
     /// `[run]`.
     pub run: RunSpec,
+    /// `[expect]` (omitted from the canonical form when empty).
+    pub expect: ExpectSpec,
 }
 
 impl Scenario {
@@ -388,7 +442,8 @@ impl Scenario {
     }
 
     /// The canonical text form. Every field is written explicitly (no
-    /// default elision except the optional `stable_from_us`), so the
+    /// default elision except the optional `stable_from_us` and the
+    /// all-optional `[expect]` section), so the
     /// output is a complete, self-documenting record of the run
     /// configuration, and `parse(to_toml(s)) == s`.
     pub fn to_toml(&self) -> String {
@@ -429,6 +484,15 @@ impl Scenario {
         let _ = writeln!(out, "min_commit_permille = {}", self.run.min_commit_permille);
         if let Some(s) = self.run.stable_from_us {
             let _ = writeln!(out, "stable_from_us = {s}");
+        }
+        if !self.expect.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "[expect]");
+            for (key, v) in self.expect.entries() {
+                if let Some(v) = v {
+                    let _ = writeln!(out, "{key} = {v}");
+                }
+            }
         }
         for l in &self.links {
             let _ = writeln!(out);

@@ -13,8 +13,8 @@ use proptest::prelude::*;
 
 use qsel_adversary::registry::Strategy as AdvStrategy;
 use qsel_scenario::{
-    parse, Adversary, Algorithm, BatchSpec, CheckpointSpec, Cluster, Fault, FaultKind, GeoLink,
-    RunSpec, Scenario, Workload, WorkloadMode,
+    parse, Adversary, Algorithm, BatchSpec, CheckpointSpec, Cluster, ExpectSpec, Fault, FaultKind,
+    GeoLink, RunSpec, Scenario, Workload, WorkloadMode,
 };
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -158,17 +158,49 @@ fn arb_checkpoint() -> impl Strategy<Value = CheckpointSpec> {
         })
 }
 
+fn arb_ceiling() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        Just(None).boxed(),
+        (0u64..=10_000_000).prop_map(Some).boxed(),
+    ]
+}
+
+fn arb_expect() -> impl Strategy<Value = ExpectSpec> {
+    (
+        (arb_ceiling(), arb_ceiling(), arb_ceiling()),
+        (arb_ceiling(), arb_ceiling(), arb_ceiling()),
+        (arb_ceiling(), arb_ceiling(), arb_ceiling()),
+    )
+        .prop_map(
+            |(
+                (commit_p50_us, commit_p99_us, client_backoff_p99_us),
+                (request_network_p99_us, batch_wait_p99_us, quorum_wait_p99_us),
+                (execute_p99_us, reply_p99_us, straggler_gap_p99_us),
+            )| ExpectSpec {
+                commit_p50_us,
+                commit_p99_us,
+                client_backoff_p99_us,
+                request_network_p99_us,
+                batch_wait_p99_us,
+                quorum_wait_p99_us,
+                execute_p99_us,
+                reply_p99_us,
+                straggler_gap_p99_us,
+            },
+        )
+}
+
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         (arb_name(), arb_cluster(), arb_workload()),
         (arb_batch(), arb_checkpoint(), arb_adversary(), arb_run()),
-        (vec(arb_link(), 0..=4), vec(arb_fault(), 0..=6)),
+        (vec(arb_link(), 0..=4), vec(arb_fault(), 0..=6), arb_expect()),
     )
         .prop_map(
             |(
                 (name, cluster, workload),
                 (batch, checkpoint, adversary, run),
-                (links, faults),
+                (links, faults, expect),
             )| Scenario {
                 name,
                 cluster,
@@ -179,6 +211,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 links,
                 faults,
                 run,
+                expect,
             },
         )
 }

@@ -656,6 +656,11 @@ impl Replica {
             if self.rcfg.batch.is_passthrough() {
                 // Compatibility identity: propose immediately, one request
                 // per slot, exactly as the unbatched protocol did.
+                self.trace.emit(|| TraceEvent::BatchAdmitted {
+                    p: self.me.0,
+                    client: req.client.0,
+                    op: req.op,
+                });
                 self.propose_batch(now, Batch::single(req), outs);
                 return;
             }
@@ -666,6 +671,13 @@ impl Replica {
             {
                 return; // retransmission of a request awaiting its batch
             }
+            // The batch-wait clock starts here: the request is now parked
+            // in the accumulator awaiting its batch.
+            self.trace.emit(|| TraceEvent::BatchAdmitted {
+                p: self.me.0,
+                client: req.client.0,
+                op: req.op,
+            });
             self.pending_batch.push(req);
             if self.batch_deadline.is_none()
                 && self.rcfg.batch.max_batch_delay > SimDuration::ZERO
@@ -716,6 +728,16 @@ impl Replica {
                 p: self.me.0,
                 slot,
                 size,
+            });
+        }
+        // Request-level slot binding for causal span reconstruction: one
+        // event per request, in every mode (passthrough included).
+        for r in &batch.reqs {
+            self.trace.emit(|| TraceEvent::ReqProposed {
+                p: self.me.0,
+                slot,
+                client: r.client.0,
+                op: r.op,
             });
         }
         let sp = self.signer.sign(PreparePayload {
@@ -840,7 +862,23 @@ impl Replica {
             // issue an expectation for a commit we already consumed).
             self.log.accept_prepare(sc.payload.prepare.clone());
         }
+        let fresh_vote = !self
+            .log
+            .slot(slot)
+            .is_some_and(|s| s.commits.contains_key(&sc.signer));
         self.log.record_commit(slot, sc.clone());
+        if fresh_vote {
+            // Quorum-formation timing: a previously-unseen vote for an
+            // undecided slot (the first-to-last gap is the straggler gap).
+            let have = self.log.slot(slot).map_or(0, |s| s.commits.len() as u64);
+            let from = sc.signer.0;
+            self.trace.emit(|| TraceEvent::CommitVote {
+                p: self.me.0,
+                slot,
+                from,
+                have,
+            });
+        }
         self.process_prepare_locally(now, sc.payload.prepare.clone(), outs);
         if !had_prepare {
             // Fig. 3: COMMIT overtook the PREPARE — expect the PREPARE
@@ -981,6 +1019,12 @@ impl Replica {
                 p: self.me.0,
                 slot: s,
                 digest: digest_fingerprint(&req.digest()),
+            });
+            self.trace.emit(|| TraceEvent::ReplySent {
+                p: self.me.0,
+                client: req.client.0,
+                op: req.op,
+                slot: s,
             });
             outs.sends.push((
                 req.client,
@@ -1374,6 +1418,12 @@ impl Replica {
                 p: self.me.0,
                 slot: s,
                 digest: digest_fingerprint(&req.digest()),
+            });
+            self.trace.emit(|| TraceEvent::ReplySent {
+                p: self.me.0,
+                client: req.client.0,
+                op: req.op,
+                slot: s,
             });
             outs.sends.push((
                 req.client,

@@ -1,12 +1,13 @@
 //! Regenerates the golden default-policy traces pinned by `tests/batching.rs`.
 //!
-//! The batching PR's compatibility contract is that `BatchPolicy::default()`
-//! (batch size 1, pipeline depth 1, no delay) is a pure passthrough: a traced
-//! run of the default 5-replica cluster must be byte-identical to what the
-//! pre-batching code produced for the same seed. The goldens under
-//! `tests/golden/` were generated by this program against the pre-batching
-//! tree and are compared byte-for-byte by
-//! `default_policy_traces_match_the_pre_batching_goldens`.
+//! The compatibility contract is that `BatchPolicy::default()` (batch
+//! size 1, pipeline depth 1, no delay) is a pure passthrough: a traced
+//! run of the default 5-replica cluster must be byte-identical run after
+//! run and against the committed goldens under `tests/golden/`, compared
+//! byte-for-byte by `default_policy_traces_are_byte_identical_to_goldens`.
+//! The goldens track the current trace vocabulary — most recently the
+//! causal-span events (`batch_admitted`, `req_proposed`, `commit_vote`,
+//! `reply_sent`) of DESIGN.md §14.
 //!
 //! Usage:
 //!

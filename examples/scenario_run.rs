@@ -6,7 +6,9 @@
 //!
 //! * `verdict.json` — pass/fail per invariant plus a metrics summary,
 //! * `trace.jsonl` — the full trace the analyzer actually read,
-//! * `metrics.json` — the standard derived metrics registry.
+//! * `metrics.json` — the standard derived metrics registry,
+//! * `latency_report.json` — per-request critical-path latency
+//!   attribution (see DESIGN.md §14).
 //!
 //! Usage:
 //!
@@ -68,6 +70,8 @@ fn main() -> ExitCode {
         .expect("cannot write trace");
     std::fs::write(out_dir.join("metrics.json"), &artifacts.metrics_json)
         .expect("cannot write metrics");
+    std::fs::write(out_dir.join("latency_report.json"), &artifacts.latency_report)
+        .expect("cannot write latency report");
 
     print!("{}", artifacts.verdict);
     println!();

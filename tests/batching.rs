@@ -6,9 +6,9 @@
 //! * all correct replicas execute the **same sequence** of requests —
 //!   one replica's execution order is a prefix of any longer replica's;
 //! * the passthrough default policy (`BatchPolicy::default()`, size 1,
-//!   depth 1) produces **byte-identical** traces to the unbatched
-//!   protocol — pinned against goldens captured before batching existed
-//!   (`tests/golden/`, regenerable via `examples/golden_gen.rs`).
+//!   depth 1) produces **byte-identical** traces run after run — pinned
+//!   against committed goldens (`tests/golden/`, regenerable via
+//!   `examples/golden_gen.rs` on deliberate trace-vocabulary changes).
 
 use std::collections::HashSet;
 
@@ -114,11 +114,13 @@ proptest! {
     }
 }
 
-/// The committed golden traces were captured from the pre-batching
-/// protocol. A default-policy (passthrough) run must reproduce them byte
-/// for byte: batching must be invisible unless switched on.
+/// The committed golden traces pin the default-policy (passthrough)
+/// trace byte for byte: batching must be invisible unless switched on,
+/// and the trace vocabulary must not drift by accident. Regenerate the
+/// goldens only for a deliberate, reviewed event-vocabulary change (the
+/// causal-span events of DESIGN.md §14 were one such change).
 #[test]
-fn default_policy_traces_are_byte_identical_to_prebatching_goldens() {
+fn default_policy_traces_are_byte_identical_to_goldens() {
     for seed in [7u64, 21] {
         let sink = TraceSink::unbounded();
         let cfg = ClusterConfig::new(5, 1).unwrap();
@@ -136,8 +138,9 @@ fn default_policy_traces_are_byte_identical_to_prebatching_goldens() {
         let want = std::fs::read_to_string(&golden_path).expect("golden trace readable");
         assert_eq!(
             got, want,
-            "default-policy trace for seed {seed} diverged from the pre-batching golden \
-             ({golden_path}); the passthrough identity is broken"
+            "default-policy trace for seed {seed} diverged from the committed golden \
+             ({golden_path}); either the passthrough identity broke or the trace \
+             vocabulary changed without regenerating the goldens"
         );
     }
 }

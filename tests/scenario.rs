@@ -69,6 +69,10 @@ fn same_file_same_seed_is_byte_identical() {
             "{name}: verdict diverged between identical runs"
         );
         assert_eq!(a.metrics_json, b.metrics_json);
+        assert_eq!(
+            a.latency_report, b.latency_report,
+            "{name}: latency report diverged between identical runs"
+        );
     }
 }
 
