@@ -24,7 +24,7 @@
 use qsel_graph::{LinearForest, SuspectGraph};
 use qsel_obs::{TraceEvent, TraceSink};
 use qsel_types::crypto::{Signer, Verifier};
-use qsel_types::{ClusterConfig, Epoch, LeaderQuorum, ProcessId, ProcessSet};
+use qsel_types::{thresholds, ClusterConfig, Epoch, LeaderQuorum, ProcessId, ProcessSet};
 
 use crate::matrix::SuspectMatrix;
 use crate::messages::{FollowersPayload, SignedFollowers, SignedUpdate, UpdateRow};
@@ -112,7 +112,10 @@ impl FollowerSelection {
     /// Panics unless `1 ≤ f` and `n > 3f` (the Section VIII assumption) and
     /// the signer belongs to `me`.
     pub fn new(cfg: ClusterConfig, me: ProcessId, signer: Signer, verifier: Verifier) -> Self {
-        assert!(cfg.f() >= 1, "follower selection requires f >= 1");
+        assert!(
+            thresholds::tolerates_faults(cfg.f()),
+            "follower selection requires f >= 1"
+        );
         assert!(
             cfg.supports_follower_selection(),
             "follower selection requires n > 3f (got n = {}, f = {})",

@@ -21,7 +21,7 @@
 use qsel_graph::SuspectGraph;
 use qsel_obs::{TraceEvent, TraceSink};
 use qsel_types::crypto::{Signer, Verifier};
-use qsel_types::{ClusterConfig, Epoch, ProcessId, ProcessSet, Quorum};
+use qsel_types::{thresholds, ClusterConfig, Epoch, ProcessId, ProcessSet, Quorum};
 
 use crate::matrix::SuspectMatrix;
 use crate::messages::{SignedUpdate, UpdateRow};
@@ -91,7 +91,10 @@ impl QuorumSelection {
     /// would make a size-`n` independent set impossible forever) or if
     /// `signer` does not belong to `me`.
     pub fn new(cfg: ClusterConfig, me: ProcessId, signer: Signer, verifier: Verifier) -> Self {
-        assert!(cfg.f() >= 1, "quorum selection requires f >= 1");
+        assert!(
+            thresholds::tolerates_faults(cfg.f()),
+            "quorum selection requires f >= 1"
+        );
         assert_eq!(signer.id(), me, "signer identity mismatch");
         QuorumSelection {
             me,

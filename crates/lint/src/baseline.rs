@@ -1,0 +1,190 @@
+//! Differential mode: a committed baseline of known findings.
+//!
+//! `qsel-lint --baseline lint_baseline.json` compares the run against
+//! the baseline and fails CI only on findings that are *new* — so an
+//! inherited debt item does not block unrelated PRs, while any fresh
+//! violation does. Entries are keyed by [`Finding::stable_hash`]
+//! (lint + file + message, no line number) with an occurrence count per
+//! key, so the baseline survives line shifts but notices when a second
+//! identical violation appears in the same file.
+//!
+//! Suppressed findings never enter the baseline: they are already
+//! accounted for by their `allow` annotations.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, Report};
+
+/// A committed set of known findings, keyed `(file, lint, hash)` with
+/// occurrence counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, u64), usize>,
+}
+
+impl Baseline {
+    /// Builds a baseline from a report's unsuppressed findings.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut b = Baseline::default();
+        for f in report.unsuppressed() {
+            *b.counts.entry(key(f)).or_insert(0) += 1;
+        }
+        b
+    }
+
+    /// The unsuppressed findings of `report` not covered by the
+    /// baseline. Each baseline count absorbs that many identical
+    /// findings; the overflow (in report order) is new.
+    pub fn new_findings<'a>(&self, report: &'a Report) -> Vec<&'a Finding> {
+        let mut budget = self.counts.clone();
+        report
+            .unsuppressed()
+            .filter(|f| {
+                match budget.get_mut(&key(f)) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        false
+                    }
+                    _ => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Number of baseline entries (distinct keys).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Serializes the baseline (hand-rolled JSON; the linter is
+    /// dependency-free by design). Deterministic: keys are sorted.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"entries\": [\n");
+        for (i, ((file, lint, hash), count)) in self.counts.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"lint\": \"{}\", \"hash\": \"{:016x}\", \"count\": {}}}{}\n",
+                crate::report::esc(file),
+                crate::report::esc(lint),
+                hash,
+                count,
+                if i + 1 < self.counts.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a baseline produced by [`Baseline::to_json`]. Line
+    /// oriented — each entry lives on its own line — which is all the
+    /// writer ever emits.
+    pub fn parse(json: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        for line in json.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if !line.starts_with('{') || !line.contains("\"hash\"") {
+                continue;
+            }
+            let file = field_str(line, "file").ok_or_else(|| bad(line, "file"))?;
+            let lint = field_str(line, "lint").ok_or_else(|| bad(line, "lint"))?;
+            let hash_s = field_str(line, "hash").ok_or_else(|| bad(line, "hash"))?;
+            let hash = u64::from_str_radix(&hash_s, 16).map_err(|_| bad(line, "hash"))?;
+            let count = field_num(line, "count").ok_or_else(|| bad(line, "count"))?;
+            *b.counts.entry((file, lint, hash)).or_insert(0) += count;
+        }
+        Ok(b)
+    }
+}
+
+fn key(f: &Finding) -> (String, String, u64) {
+    (f.file.clone(), f.lint.to_string(), f.stable_hash())
+}
+
+fn bad(line: &str, field: &str) -> String {
+    format!("malformed baseline entry (missing `{field}`): {line}")
+}
+
+/// Extracts `"key": "value"` from a single-line JSON object. The writer
+/// only ever emits paths, lint IDs, and hex hashes here — no escapes.
+fn field_str(line: &str, field: &str) -> Option<String> {
+    let tag = format!("\"{field}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start().strip_prefix('"')?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+/// Extracts `"key": 123` from a single-line JSON object.
+fn field_num(line: &str, field: &str) -> Option<usize> {
+    let tag = format!("\"{field}\":");
+    let rest = line[line.find(&tag)? + tag.len()..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            lint: "D1",
+            file: file.into(),
+            line,
+            message: msg.into(),
+            suppressed: None,
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> Report {
+        let mut r = Report {
+            files_scanned: 1,
+            findings,
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn roundtrip_and_line_shift_tolerance() {
+        let r = report(vec![finding("a.rs", 10, "m1"), finding("a.rs", 20, "m2")]);
+        let b = Baseline::from_report(&r);
+        let b2 = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(b, b2);
+        // Same findings on different lines: still covered.
+        let shifted = report(vec![finding("a.rs", 99, "m1"), finding("a.rs", 1, "m2")]);
+        assert!(b2.new_findings(&shifted).is_empty());
+    }
+
+    #[test]
+    fn counts_catch_duplicated_violations() {
+        let b = Baseline::from_report(&report(vec![finding("a.rs", 10, "m")]));
+        let doubled = report(vec![finding("a.rs", 10, "m"), finding("a.rs", 40, "m")]);
+        let new = b.new_findings(&doubled);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 40);
+    }
+
+    #[test]
+    fn new_message_is_a_new_finding() {
+        let b = Baseline::from_report(&report(vec![finding("a.rs", 10, "old")]));
+        let r = report(vec![finding("a.rs", 10, "new")]);
+        assert_eq!(b.new_findings(&r).len(), 1);
+    }
+
+    #[test]
+    fn suppressed_findings_stay_out() {
+        let mut f = finding("a.rs", 10, "m");
+        f.suppressed = Some("reason".into());
+        let b = Baseline::from_report(&report(vec![f]));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{\"entries\": [\n{\"hash\": \"zz\"}\n]}").is_err());
+    }
+}

@@ -18,8 +18,10 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character (`::` is two `Punct(':')`).
     Punct(char),
-    /// A string/char/number literal; contents are irrelevant to the lints.
-    Literal,
+    /// A string/char/number literal, carrying its raw source text. The
+    /// quorum-arithmetic pass (P2) needs to see the `1` in `f + 1`; the
+    /// other lints ignore the contents.
+    Literal(String),
     /// A line comment's text (without the leading `//`), including doc
     /// comments. Block comments are folded into this too.
     Comment(String),
@@ -101,6 +103,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         // Raw strings: r"..." / r#"..."# / br##"..."## etc.
         if (c == 'r' || c == 'b') && raw_string_start(&b, i) {
             let start_line = line;
+            let lit_start = i;
             // Skip the b/r prefix.
             while i < n && (b[i] == 'b' || b[i] == 'r') {
                 i += 1;
@@ -133,7 +136,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
             }
             out.push(Token {
-                tok: Tok::Literal,
+                tok: Tok::Literal(b[lit_start..i].iter().collect()),
                 line: start_line,
             });
             continue;
@@ -141,6 +144,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         // Plain (or byte) string literal.
         if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
             let start_line = line;
+            let lit_start = i;
             if c == 'b' {
                 i += 1;
             }
@@ -155,7 +159,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i += 1; // closing quote
             }
             out.push(Token {
-                tok: Tok::Literal,
+                tok: Tok::Literal(b[lit_start..i].iter().collect()),
                 line: start_line,
             });
             continue;
@@ -171,6 +175,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 continue;
             }
             let start_line = line;
+            let lit_start = i;
             i += 1;
             while i < n && b[i] != '\'' {
                 if b[i] == '\\' && i + 1 < n {
@@ -182,7 +187,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i += 1;
             }
             out.push(Token {
-                tok: Tok::Literal,
+                tok: Tok::Literal(b[lit_start..i].iter().collect()),
                 line: start_line,
             });
             continue;
@@ -190,6 +195,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         // Number literal (digits, underscores, type suffixes, hex, floats).
         if c.is_ascii_digit() {
             let start_line = line;
+            let lit_start = i;
             while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_' || b[i] == '.') {
                 // `0..10` — stop before a range operator.
                 if b[i] == '.' && i + 1 < n && b[i + 1] == '.' {
@@ -198,7 +204,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i += 1;
             }
             out.push(Token {
-                tok: Tok::Literal,
+                tok: Tok::Literal(b[lit_start..i].iter().collect()),
                 line: start_line,
             });
             continue;
@@ -280,9 +286,21 @@ mod tests {
         assert_eq!(idents("fn f<'a>(x: &'a str) {}"), vec!["fn", "f", "a", "x", "a", "str"]);
         let lit_count = lex("let c = 'x';")
             .iter()
-            .filter(|t| t.tok == Tok::Literal)
+            .filter(|t| matches!(t.tok, Tok::Literal(_)))
             .count();
         assert_eq!(lit_count, 1);
+    }
+
+    #[test]
+    fn literals_carry_source_text() {
+        let texts: Vec<String> = lex("let q = 2 * f + 1; let s = \"x\";")
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Literal(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(texts, vec!["2", "1", "\"x\""]);
     }
 
     #[test]

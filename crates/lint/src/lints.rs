@@ -1,13 +1,15 @@
-//! The six lint passes.
+//! The per-file, token-level lints (D1–D3, S2, H1).
 //!
-//! Everything here is token-level (see DESIGN.md §11 for why that is
-//! enough offline): the passes over-approximate and the named escape
-//! hatch `// lint: allow(ID, reason)` — on the finding's line or the
-//! line directly above it — records the audit for every intentional
-//! exception.
+//! These need no cross-file knowledge and run on each [`ParsedFile`]
+//! independently. The dataflow and whole-workspace passes (S1, P1–P4)
+//! live in [`crate::passes`]; the escape hatch
+//! `// lint: allow(ID, reason)` — on the finding's line or the line
+//! directly above it — records the audit for every intentional
+//! exception and is applied by the driver in `lib.rs`.
 
 use crate::config::LintConfig;
-use crate::lexer::{lex, Tok, Token};
+use crate::lexer::{Tok, Token};
+use crate::parser::ParsedFile;
 use crate::report::Finding;
 
 /// Where a source file sits in the workspace.
@@ -23,210 +25,46 @@ pub struct FileMeta {
     pub is_crate_root: bool,
 }
 
-/// Lints one source file.
-pub fn lint_file(src: &str, meta: &FileMeta, cfg: &LintConfig) -> Vec<Finding> {
-    let toks = lex(src);
-    let suppressions = collect_suppressions(&toks);
-    // Code view: comments stripped, order preserved.
-    let code: Vec<&Token> = toks
-        .iter()
-        .filter(|t| !matches!(t.tok, Tok::Comment(_)))
-        .collect();
-    let test_mask = test_regions(&code);
-
-    let mut findings = Vec::new();
+/// Runs the per-file lints on one parsed file.
+pub fn per_file_lints(file: &ParsedFile, cfg: &LintConfig, findings: &mut Vec<Finding>) {
+    let meta = &file.meta;
     if cfg.d1_applies(&meta.krate) {
-        lint_d1(&code, &test_mask, meta, &mut findings);
+        lint_d1(file, findings);
     }
     if cfg.d2_applies(&meta.krate) {
         lint_ident_ban(
-            &code,
-            &test_mask,
-            meta,
+            file,
             "D2",
             &["Instant", "SystemTime"],
             "wall-clock time in deterministic code; sim crates must use `SimTime`",
-            &mut findings,
+            findings,
         );
     }
     if cfg.d3_applies(&meta.krate) {
         lint_ident_ban(
-            &code,
-            &test_mask,
-            meta,
+            file,
             "D3",
             &["thread_rng", "from_entropy", "OsRng"],
             "ambient randomness; all randomness must flow from a seeded generator",
-            &mut findings,
+            findings,
         );
     }
-    if cfg.s1_applies(&meta.krate) {
-        lint_s1(&code, &test_mask, meta, &mut findings);
-    }
     if cfg.s2_applies(&meta.krate) {
-        lint_s2(&code, &test_mask, meta, &mut findings);
+        lint_s2(file, findings);
     }
     if meta.is_crate_root && !cfg.h1_exempt(&meta.path) {
-        lint_h1(&code, meta, &mut findings);
-    }
-
-    // Apply suppressions: an allow annotation covers its own line and
-    // the line below it (trailing comment or a comment directly above).
-    for f in &mut findings {
-        if let Some(reason) = suppressions
-            .iter()
-            .find(|s| s.lint == f.lint && (s.line == f.line || s.line + 1 == f.line))
-        {
-            f.suppressed = Some(reason.reason.clone());
-        }
-    }
-    findings
-}
-
-struct Suppression {
-    lint: String,
-    line: u32,
-    reason: String,
-}
-
-/// Parses `lint: allow(ID, reason)` annotations out of comments. The
-/// reason is mandatory in spirit (it is what makes the escape hatch an
-/// audit trail); an omitted reason is recorded as `"(no reason given)"`.
-fn collect_suppressions(toks: &[Token]) -> Vec<Suppression> {
-    let mut out = Vec::new();
-    for t in toks {
-        let Tok::Comment(text) = &t.tok else { continue };
-        let mut rest = text.as_str();
-        while let Some(at) = rest.find("lint:") {
-            rest = &rest[at + 5..];
-            let Some(ap) = rest.find("allow(") else { break };
-            rest = &rest[ap + 6..];
-            let end = rest.find(')').unwrap_or(rest.len());
-            let inner = &rest[..end];
-            rest = &rest[end..];
-            let (id, reason) = match inner.split_once(',') {
-                Some((id, r)) => (id.trim(), r.trim()),
-                None => (inner.trim(), ""),
-            };
-            if id.is_empty() {
-                continue;
-            }
-            out.push(Suppression {
-                lint: id.to_string(),
-                line: t.line,
-                reason: if reason.is_empty() {
-                    "(no reason given)".to_string()
-                } else {
-                    reason.to_string()
-                },
-            });
-        }
-    }
-    out
-}
-
-/// Token-index ranges (over the comment-stripped stream) covered by
-/// `#[cfg(test)]` or `#[test]` items. Test code is exempt from every
-/// lint except H1.
-fn test_regions(code: &[&Token]) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < code.len() {
-        if !is_test_attr(code, i) {
-            i += 1;
-            continue;
-        }
-        // Skip this attribute and any further attributes.
-        let mut j = skip_attr(code, i);
-        while j < code.len() && code[j].tok == Tok::Punct('#') {
-            j = skip_attr(code, j);
-        }
-        // The annotated item runs to its closing brace (or `;` for
-        // brace-less items like `#[cfg(test)] use ...;`).
-        let mut depth = 0usize;
-        let mut entered = false;
-        while j < code.len() {
-            match code[j].tok {
-                Tok::Punct('{') => {
-                    depth += 1;
-                    entered = true;
-                }
-                Tok::Punct('}') => {
-                    depth = depth.saturating_sub(1);
-                    if entered && depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                Tok::Punct(';') if !entered => {
-                    j += 1;
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        regions.push((i, j));
-        i = j;
-    }
-    regions
-}
-
-/// Whether the attribute starting at `i` is `#[test]`, `#[cfg(test)]`,
-/// or `#[cfg(all(test, ...))]`-shaped (any cfg mentioning `test`).
-fn is_test_attr(code: &[&Token], i: usize) -> bool {
-    if code.get(i).map(|t| &t.tok) != Some(&Tok::Punct('#')) {
-        return false;
-    }
-    if code.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('[')) {
-        return false;
-    }
-    match code.get(i + 2).map(|t| &t.tok) {
-        Some(Tok::Ident(s)) if s == "test" => true,
-        Some(Tok::Ident(s)) if s == "cfg" => {
-            // Scan the attribute tokens for a `test` ident.
-            let end = skip_attr(code, i);
-            code[i..end]
-                .iter()
-                .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "test"))
-        }
-        _ => false,
+        lint_h1(file, findings);
     }
 }
 
-/// Returns the index one past the `]` closing the attribute at `i`
-/// (which must point at `#`).
-fn skip_attr(code: &[&Token], i: usize) -> usize {
-    let mut j = i + 1; // at '['
-    let mut depth = 0usize;
-    while j < code.len() {
-        match code[j].tok {
-            Tok::Punct('[') => depth += 1,
-            Tok::Punct(']') => {
-                depth -= 1;
-                if depth == 0 {
-                    return j + 1;
-                }
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    j
-}
-
-fn in_test(mask: &[(usize, usize)], idx: usize) -> bool {
-    mask.iter().any(|(a, b)| idx >= *a && idx < *b)
-}
-
-fn ident_at<'a>(code: &'a [&Token], i: usize) -> Option<&'a str> {
+pub(crate) fn ident_at(code: &[Token], i: usize) -> Option<&str> {
     match code.get(i).map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct_at(code: &[&Token], i: usize, c: char) -> bool {
+pub(crate) fn punct_at(code: &[Token], i: usize, c: char) -> bool {
     code.get(i).map(|t| &t.tok) == Some(&Tok::Punct(c))
 }
 
@@ -239,12 +77,9 @@ fn punct_at(code: &[&Token], i: usize, c: char) -> bool {
 /// declaration or expression to matter. Lookup-only maps that are never
 /// iterated are legitimate; annotate them with
 /// `// lint: allow(D1, lookup-only: ...)`.
-fn lint_d1(
-    code: &[&Token],
-    mask: &[(usize, usize)],
-    meta: &FileMeta,
-    findings: &mut Vec<Finding>,
-) {
+fn lint_d1(file: &ParsedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let meta = &file.meta;
     let mut in_use = false;
     let mut last_line = 0u32;
     for (i, t) in code.iter().enumerate() {
@@ -252,7 +87,7 @@ fn lint_d1(
             Tok::Ident(s) if s == "use" => in_use = true,
             Tok::Punct(';') if in_use => in_use = false,
             Tok::Ident(s) if (s == "HashMap" || s == "HashSet") && !in_use => {
-                if in_test(mask, i) || t.line == last_line {
+                if file.in_test(i) || t.line == last_line {
                     continue;
                 }
                 last_line = t.line;
@@ -279,182 +114,27 @@ fn lint_d1(
 // ----------------------------------------------------------------------
 
 fn lint_ident_ban(
-    code: &[&Token],
-    mask: &[(usize, usize)],
-    meta: &FileMeta,
+    file: &ParsedFile,
     lint: &'static str,
     banned: &[&str],
     why: &str,
     findings: &mut Vec<Finding>,
 ) {
     let mut last_line = 0u32;
-    for (i, t) in code.iter().enumerate() {
+    for (i, t) in file.code.iter().enumerate() {
         let Tok::Ident(s) = &t.tok else { continue };
-        if !banned.contains(&s.as_str()) || in_test(mask, i) || t.line == last_line {
+        if !banned.contains(&s.as_str()) || file.in_test(i) || t.line == last_line {
             continue;
         }
         last_line = t.line;
         findings.push(Finding {
             lint,
-            file: meta.path.clone(),
+            file: file.meta.path.clone(),
             line: t.line,
             message: format!("`{s}`: {why}"),
             suppressed: None,
         });
     }
-}
-
-// ----------------------------------------------------------------------
-// S1 — verify before use
-// ----------------------------------------------------------------------
-
-/// For every `fn` taking a parameter whose type mentions a `Signed*`
-/// message, the body must contain a `verify*` call before the first
-/// read of that parameter's `.payload`. Functions trusting a caller's
-/// verification document it with `// lint: allow(S1, ...)` — that
-/// annotation trail *is* the crate's trust-boundary map.
-fn lint_s1(
-    code: &[&Token],
-    mask: &[(usize, usize)],
-    meta: &FileMeta,
-    findings: &mut Vec<Finding>,
-) {
-    let mut i = 0;
-    while i < code.len() {
-        if ident_at(code, i) != Some("fn") || in_test(mask, i) {
-            i += 1;
-            continue;
-        }
-        let fn_line = code[i].line;
-        let Some(fn_name) = ident_at(code, i + 1) else {
-            i += 1;
-            continue;
-        };
-        // Find the parameter list.
-        let Some(lp) = (i + 2..code.len()).find(|&j| punct_at(code, j, '(')) else {
-            i += 1;
-            continue;
-        };
-        let Some(rp) = matching_close(code, lp, '(', ')') else {
-            i += 1;
-            continue;
-        };
-        let signed_params = signed_param_names(&code[lp + 1..rp]);
-        // Find the body (or `;` for trait-method declarations).
-        let mut j = rp + 1;
-        let mut body: Option<(usize, usize)> = None;
-        while j < code.len() {
-            match code[j].tok {
-                Tok::Punct(';') => break,
-                Tok::Punct('{') => {
-                    if let Some(close) = matching_close(code, j, '{', '}') {
-                        body = Some((j + 1, close));
-                    }
-                    break;
-                }
-                _ => j += 1,
-            }
-        }
-        let next_scan = body.map(|(s, _)| s).unwrap_or(j + 1);
-        if let Some((bs, be)) = body {
-            for pname in &signed_params {
-                if let Some(acc) = first_payload_access(&code[bs..be], pname) {
-                    let verified = code[bs..bs + acc]
-                        .iter()
-                        .any(|t| matches!(&t.tok, Tok::Ident(s) if s.starts_with("verify")));
-                    if !verified {
-                        findings.push(Finding {
-                            lint: "S1",
-                            file: meta.path.clone(),
-                            line: fn_line,
-                            message: format!(
-                                "fn `{fn_name}` reads `{pname}.payload` without a prior \
-                                 `verify` call — signed payloads must be verified before use \
-                                 (σ_l assumption, PAPER.md §II)"
-                            ),
-                            suppressed: None,
-                        });
-                    }
-                }
-            }
-        }
-        i = next_scan;
-    }
-}
-
-/// Names of parameters whose type tokens mention an ident starting with
-/// `Signed`, given the token slice between the parens of a `fn`.
-fn signed_param_names(params: &[&Token]) -> Vec<String> {
-    let mut out = Vec::new();
-    // Split at top-level commas, tracking (), [], {}, and <> depth.
-    let mut depth = 0i32;
-    let mut start = 0usize;
-    let mut groups: Vec<(usize, usize)> = Vec::new();
-    for (k, t) in params.iter().enumerate() {
-        match t.tok {
-            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') | Tok::Punct('<') => depth += 1,
-            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
-            Tok::Punct('>') => {
-                // `->` and `=>` are not closing angles.
-                let arrow = k > 0
-                    && matches!(params[k - 1].tok, Tok::Punct('-') | Tok::Punct('='));
-                if !arrow {
-                    depth -= 1;
-                }
-            }
-            Tok::Punct(',') if depth == 0 => {
-                groups.push((start, k));
-                start = k + 1;
-            }
-            _ => {}
-        }
-    }
-    groups.push((start, params.len()));
-    for (a, b) in groups {
-        let slice = &params[a..b];
-        let Some(colon) = slice.iter().position(|t| t.tok == Tok::Punct(':')) else {
-            continue; // `self`, `&mut self`, ...
-        };
-        let ty_signed = slice[colon + 1..]
-            .iter()
-            .any(|t| matches!(&t.tok, Tok::Ident(s) if s.starts_with("Signed")));
-        if !ty_signed {
-            continue;
-        }
-        // The binding name: last ident before the colon (skips `mut`, `&`).
-        if let Some(name) = slice[..colon].iter().rev().find_map(|t| match &t.tok {
-            Tok::Ident(s) => Some(s.clone()),
-            _ => None,
-        }) {
-            out.push(name);
-        }
-    }
-    out
-}
-
-/// Index (within `body`) of the first `name . payload` sequence.
-fn first_payload_access(body: &[&Token], name: &str) -> Option<usize> {
-    (0..body.len().saturating_sub(2)).find(|&k| {
-        matches!(&body[k].tok, Tok::Ident(s) if s == name)
-            && body[k + 1].tok == Tok::Punct('.')
-            && matches!(&body[k + 2].tok, Tok::Ident(s) if s == "payload")
-    })
-}
-
-/// Index of the token closing the group opened at `open_idx`.
-fn matching_close(code: &[&Token], open_idx: usize, open: char, close: char) -> Option<usize> {
-    let mut depth = 0usize;
-    for (k, t) in code.iter().enumerate().skip(open_idx) {
-        if t.tok == Tok::Punct(open) {
-            depth += 1;
-        } else if t.tok == Tok::Punct(close) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(k);
-            }
-        }
-    }
-    None
 }
 
 // ----------------------------------------------------------------------
@@ -465,12 +145,9 @@ fn matching_close(code: &[&Token], open_idx: usize, open: char, close: char) -> 
 /// macro family outside test code. The argument count matters: the
 /// failure detector's `expect(now, peer, tag, matcher)` API is a
 /// four-argument method and is *not* `Option::expect`.
-fn lint_s2(
-    code: &[&Token],
-    mask: &[(usize, usize)],
-    meta: &FileMeta,
-    findings: &mut Vec<Finding>,
-) {
+fn lint_s2(file: &ParsedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
+    let meta = &file.meta;
     let push = |line: u32, what: &str, findings: &mut Vec<Finding>| {
         findings.push(Finding {
             lint: "S2",
@@ -485,7 +162,7 @@ fn lint_s2(
         });
     };
     for i in 0..code.len() {
-        if in_test(mask, i) {
+        if file.in_test(i) {
             continue;
         }
         match ident_at(code, i) {
@@ -511,8 +188,8 @@ fn lint_s2(
 }
 
 /// Number of top-level arguments of the call whose `(` is at `lp`.
-fn call_arg_count(code: &[&Token], lp: usize) -> Option<usize> {
-    let rp = matching_close(code, lp, '(', ')')?;
+fn call_arg_count(code: &[Token], lp: usize) -> Option<usize> {
+    let rp = crate::parser::matching_close(code, lp, '(', ')')?;
     if rp == lp + 1 {
         return Some(0);
     }
@@ -534,7 +211,8 @@ fn call_arg_count(code: &[&Token], lp: usize) -> Option<usize> {
 // ----------------------------------------------------------------------
 
 /// Every crate root must carry `#![forbid(unsafe_code)]`.
-fn lint_h1(code: &[&Token], meta: &FileMeta, findings: &mut Vec<Finding>) {
+fn lint_h1(file: &ParsedFile, findings: &mut Vec<Finding>) {
+    let code = &file.code;
     let has = (0..code.len()).any(|i| {
         ident_at(code, i) == Some("forbid")
             && punct_at(code, i + 1, '(')
@@ -543,7 +221,7 @@ fn lint_h1(code: &[&Token], meta: &FileMeta, findings: &mut Vec<Finding>) {
     if !has {
         findings.push(Finding {
             lint: "H1",
-            file: meta.path.clone(),
+            file: file.meta.path.clone(),
             line: 1,
             message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
             suppressed: None,
@@ -554,6 +232,7 @@ fn lint_h1(code: &[&Token], meta: &FileMeta, findings: &mut Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_source;
 
     fn meta(krate: &str, root: bool) -> FileMeta {
         FileMeta {
@@ -564,7 +243,7 @@ mod tests {
     }
 
     fn run(src: &str, krate: &str) -> Vec<Finding> {
-        lint_file(src, &meta(krate, false), &LintConfig::default())
+        lint_source(src, &meta(krate, false), &LintConfig::default())
     }
 
     #[test]
@@ -578,7 +257,7 @@ mod tests {
 
     #[test]
     fn s2_distinguishes_fd_expect_from_option_expect() {
-        let src = "fn f() { fd.expect(now, k, \"tag\", |m| true); o.expect(\"boom\"); }";
+        let src = "fn g() { fd.expect(now, k, \"tag\", |m| true); o.expect(\"boom\"); }";
         let f = run(src, "xpaxos");
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("expect(_)"));
@@ -586,7 +265,7 @@ mod tests {
 
     #[test]
     fn suppression_covers_own_and_next_line() {
-        let src = "// lint: allow(S2, justified)\nfn f() { panic!(\"x\") }";
+        let src = "// lint: allow(S2, justified)\nfn g() { panic!(\"x\") }";
         let f = run(src, "xpaxos");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].suppressed.as_deref(), Some("justified"));
@@ -594,8 +273,9 @@ mod tests {
 
     #[test]
     fn s1_requires_verify_before_payload() {
-        let bad = "fn f(m: SignedVote) { let _ = m.payload.x; }";
-        let good = "fn f(m: SignedVote) { if verifier.verify(&m).is_err() { return } let _ = m.payload.x; }";
+        let bad = "fn g(m: SignedVote) { let _ = m.payload.x; }";
+        let good =
+            "fn g(m: SignedVote) { if verifier.verify(&m).is_err() { return } let _ = m.payload.x; }";
         assert_eq!(run(bad, "core").len(), 1);
         assert_eq!(run(good, "core").len(), 0);
     }
@@ -603,10 +283,10 @@ mod tests {
     #[test]
     fn h1_checks_crate_roots_only() {
         let cfg = LintConfig::default();
-        let f = lint_file("fn main() {}", &meta("types", true), &cfg);
+        let f = lint_source("fn main() {}", &meta("types", true), &cfg);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].lint, "H1");
-        let f = lint_file(
+        let f = lint_source(
             "#![forbid(unsafe_code)]\nfn main() {}",
             &meta("types", true),
             &cfg,

@@ -27,7 +27,9 @@ fn bad_fixtures_fire_exact_findings() {
         fixture("d3_bad.rs", "xpaxos", false),
         fixture("s1_bad.rs", "xpaxos", false),
         fixture("s2_bad.rs", "xpaxos", false),
-        fixture("h1_bad.rs", "xpaxos", true),
+        // `simnet`, not `xpaxos`: a crate-root file in a P1 handler's
+        // crate would (correctly) demand the wire enum be present too.
+        fixture("h1_bad.rs", "simnet", true),
     ];
     let report = lint_paths(&files, &LintConfig::default()).unwrap();
     let got: Vec<(&str, &str, u32)> = report
@@ -58,7 +60,7 @@ fn good_fixtures_are_clean() {
         fixture("d3_good.rs", "xpaxos", false),
         fixture("s1_good.rs", "xpaxos", false),
         fixture("s2_good.rs", "xpaxos", false),
-        fixture("h1_good.rs", "xpaxos", true),
+        fixture("h1_good.rs", "simnet", true),
     ];
     let report = lint_paths(&files, &LintConfig::default()).unwrap();
     assert!(
@@ -102,11 +104,17 @@ fn json_report_carries_exact_ids_files_and_lines() {
     let report = lint_paths(&files, &LintConfig::default()).unwrap();
     let json = report.to_json();
     assert!(json.contains(
-        r#"{"lint": "D1", "file": "fixtures/d1_bad.rs", "line": 5,"#
+        r#""lint": "D1", "file": "fixtures/d1_bad.rs", "line": 5,"#
     ));
     assert!(json.contains(
-        r#"{"lint": "S2", "file": "fixtures/suppressed.rs", "line": 4,"#
+        r#""lint": "S2", "file": "fixtures/suppressed.rs", "line": 4,"#
     ));
+    // Every finding carries its stable id, and the id embeds the
+    // (file, line, lint) triple for humans.
+    for f in &report.findings {
+        assert!(json.contains(&format!(r#""id": "{}""#, f.id())));
+        assert!(f.id().starts_with(&format!("{}:{}:{}:", f.file, f.line, f.lint)));
+    }
     assert!(json.contains(r#""suppressed": "fixture demonstrates the escape hatch""#));
     assert!(json.contains(r#""summary": {"files_scanned": 2, "total": 2, "suppressed": 1, "unsuppressed": 1}"#));
 }

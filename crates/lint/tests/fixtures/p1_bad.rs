@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+//! P1 fixture: a handler whose wildcard arm swallows a wire variant.
+pub enum WireMsg {
+    Ping,
+    Pong,
+    Sync,
+}
+
+pub fn handle_message(m: WireMsg) {
+    match m {
+        WireMsg::Ping => reply(),
+        WireMsg::Pong => note(),
+        _ => {}
+    }
+}
+
+fn reply() {}
+fn note() {}

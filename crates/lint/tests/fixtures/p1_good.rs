@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+//! P1 fixture (clean): every variant is named in code reachable from
+//! the handler — `Sync` through a helper, proving the pass follows the
+//! call graph rather than just the handler body.
+pub enum WireMsg {
+    Ping,
+    Pong,
+    Sync,
+}
+
+pub fn handle_message(m: WireMsg) {
+    match m {
+        WireMsg::Ping => reply(),
+        WireMsg::Pong => note(),
+        other => handle_rest(other),
+    }
+}
+
+fn handle_rest(m: WireMsg) {
+    if let WireMsg::Sync = m {
+        note()
+    }
+}
+
+fn reply() {}
+fn note() {}

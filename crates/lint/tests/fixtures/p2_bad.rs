@@ -1,0 +1,8 @@
+//! P2 fixture: hand-written quorum arithmetic in protocol code.
+pub fn reply_ready(f: u32, matching: u32) -> bool {
+    matching >= f + 1
+}
+
+pub fn quorum(n: u32, f: u32) -> u32 {
+    n - f
+}

@@ -1,0 +1,8 @@
+//! P2 fixture (clean): thresholds routed through the central module.
+pub fn reply_ready(f: u32, matching: usize) -> bool {
+    qsel_types::thresholds::reply_quorum_reached(f, matching)
+}
+
+pub fn quorum(n: u32, f: u32) -> u32 {
+    qsel_types::thresholds::quorum_size(n, f)
+}

@@ -1,0 +1,9 @@
+//! P3 fixture: protocol code reaching the network through a helper.
+pub fn broadcast(buf: &[u8]) -> usize {
+    push_wire(buf)
+}
+
+fn push_wire(buf: &[u8]) -> usize {
+    let _ = std::net::TcpStream::connect("127.0.0.1:1");
+    buf.len()
+}

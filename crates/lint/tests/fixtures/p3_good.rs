@@ -1,0 +1,9 @@
+//! P3 fixture (clean): the same shape, sans io — messages go to an
+//! in-memory queue the simulation owns.
+pub fn broadcast(buf: &[u8]) -> usize {
+    push_queue(buf)
+}
+
+fn push_queue(buf: &[u8]) -> usize {
+    buf.len()
+}

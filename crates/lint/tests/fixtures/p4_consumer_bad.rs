@@ -1,0 +1,5 @@
+//! P4 fixture: the replay side only understands `Sent` — `Delivered`
+//! is emitted but never consumed.
+pub fn consume(e: &Ev) -> bool {
+    matches!(e, Ev::Sent)
+}

@@ -1,0 +1,8 @@
+//! P4 fixture (clean): the replay side understands the full vocabulary.
+pub fn consume(e: &Ev) -> u8 {
+    match e {
+        Ev::Sent => 0,
+        Ev::Delivered => 1,
+        Ev::Dropped => 2,
+    }
+}

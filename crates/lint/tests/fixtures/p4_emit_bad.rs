@@ -1,0 +1,8 @@
+//! P4 fixture: emits only part of the vocabulary — `Dropped` is dead.
+pub fn on_send(trace: &mut Vec<Ev>) {
+    trace.push(Ev::Sent);
+}
+
+pub fn on_deliver(trace: &mut Vec<Ev>) {
+    trace.push(Ev::Delivered);
+}

@@ -1,0 +1,12 @@
+//! P4 fixture (clean): every variant is emitted.
+pub fn on_send(trace: &mut Vec<Ev>) {
+    trace.push(Ev::Sent);
+}
+
+pub fn on_deliver(trace: &mut Vec<Ev>) {
+    trace.push(Ev::Delivered);
+}
+
+pub fn on_drop(trace: &mut Vec<Ev>) {
+    trace.push(Ev::Dropped);
+}

@@ -1,0 +1,5 @@
+//! Purity fixture, file 1 of 3: the public protocol entry point. It
+//! looks innocent — the io hides two calls down.
+pub fn entry(x: u64) -> u64 {
+    middle(x)
+}

@@ -1,0 +1,4 @@
+//! Purity fixture, file 2 of 3: an innocent-looking relay.
+pub fn middle(x: u64) -> u64 {
+    sink(x)
+}

@@ -1,0 +1,5 @@
+//! Purity fixture, file 3 of 3: the buried io.
+pub fn sink(x: u64) -> u64 {
+    let _ = std::fs::read("/tmp/state");
+    x
+}

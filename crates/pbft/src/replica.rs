@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use qsel_simnet::{Actor, Context, SimConfig, SimDuration, SimTime, Simulation, TimerId};
 use qsel_types::crypto::{sha256, Digest};
 use qsel_types::encode::{encode_to_vec, Encode};
-use qsel_types::{ClusterConfig, ProcessId};
+use qsel_types::{thresholds, ClusterConfig, ProcessId};
 
 /// Which replicas exchange agreement traffic.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -151,13 +151,11 @@ impl PbftReplica {
     /// needs `m − f − 1` prepares from others (plus the pre-prepare),
     /// committed needs `m − f` commits.
     fn prepare_threshold(&self) -> usize {
-        let m = self.participants().len();
-        m - self.cfg.f() as usize - 1
+        thresholds::pbft_prepare_quorum(self.participants().len(), self.cfg.f())
     }
 
     fn commit_threshold(&self) -> usize {
-        let m = self.participants().len();
-        m - self.cfg.f() as usize
+        thresholds::pbft_commit_quorum(self.participants().len(), self.cfg.f())
     }
 
     fn primary(&self) -> ProcessId {
@@ -341,7 +339,7 @@ impl Actor<PbftMsg> for PbftClient {
         }
         let set = self.replies.entry(seq).or_default();
         set.insert(from);
-        if set.len() as u32 > self.cluster.f() {
+        if thresholds::reply_quorum_reached(self.cluster.f(), set.len()) {
             self.completed += 1;
             self.next += 1;
             if self.next < self.max_ops {

@@ -381,7 +381,7 @@ impl Scenario {
     /// Returns a human-readable description of the first problem.
     pub fn validate(&self) -> Result<(), String> {
         let Cluster { n, f, .. } = self.cluster;
-        if n == 0 || f >= n || n - f <= f {
+        if n == 0 || !qsel_types::thresholds::has_correct_majority(n, f) {
             return Err(format!("invalid cluster: n={n}, f={f} (need n - f > f)"));
         }
         if self.name.is_empty() {

@@ -34,7 +34,7 @@ impl fmt::Display for ConfigError {
             ConfigError::NoCorrectMajority { n, f: faults } => write!(
                 f,
                 "correct majority violated: n - f = {} is not greater than f = {faults}",
-                n - faults
+                crate::thresholds::quorum_size(*n, *faults)
             ),
         }
     }

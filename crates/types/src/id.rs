@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::error::ConfigError;
+use crate::thresholds;
 
 /// Identifier of a process `p_i` in the paper's `Π = {p_1, p_2, …, p_n}`.
 ///
@@ -94,10 +95,10 @@ impl ClusterConfig {
         if n == 0 {
             return Err(ConfigError::EmptyCluster);
         }
-        if f >= n {
+        if !thresholds::fault_bound_fits(n, f) {
             return Err(ConfigError::TooManyFaults { n, f });
         }
-        if n - f <= f {
+        if !thresholds::has_correct_majority(n, f) {
             return Err(ConfigError::NoCorrectMajority { n, f });
         }
         Ok(ClusterConfig { n, f })
@@ -118,14 +119,14 @@ impl ClusterConfig {
     /// Quorum size `q = n - f`.
     #[inline]
     pub fn quorum_size(&self) -> u32 {
-        self.n - self.f
+        thresholds::quorum_size(self.n, self.f)
     }
 
     /// Whether the cluster satisfies the Follower Selection assumption
     /// `|Π| > 3f` of Section VIII.
     #[inline]
     pub fn supports_follower_selection(&self) -> bool {
-        self.n > 3 * self.f
+        thresholds::supports_follower_selection(self.n, self.f)
     }
 
     /// Iterates over all process ids `p_1, …, p_n`.

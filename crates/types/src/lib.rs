@@ -15,6 +15,9 @@
 //! * [`encode`] — a small deterministic binary encoding used as the input to
 //!   signatures, so that equivocation (two different signed payloads for the
 //!   same slot) is well defined.
+//! * [`thresholds`] — the single home of quorum-threshold arithmetic
+//!   (`f + 1`, `n − f`, …); the P2 lint rejects raw threshold math
+//!   anywhere else.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ mod epoch;
 mod error;
 mod id;
 mod quorum;
+pub mod thresholds;
 
 pub use checkpoint::CheckpointPayload;
 pub use crypto::Signed;

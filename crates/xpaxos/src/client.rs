@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use qsel_detector::TimeoutPolicy;
 use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{Context, SimDuration, SimTime, TimerId};
-use qsel_types::{ClusterConfig, ProcessId};
+use qsel_types::{thresholds, ClusterConfig, ProcessId};
 
 use crate::messages::{Reply, Request, XpMsg};
 
@@ -119,7 +119,7 @@ impl Client {
         }
         // f+1 matching replies guarantee at least one correct replica
         // executed the operation at this slot.
-        if entry.len() as u32 > self.cluster.f() {
+        if thresholds::reply_quorum_reached(self.cluster.f(), entry.len()) {
             let latency = ctx.now() - self.sent_at;
             self.completed.push((reply.op, reply.result, latency));
             self.trace.emit(|| TraceEvent::ClientCommit {

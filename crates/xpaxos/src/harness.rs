@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{Actor, Context, DelayModel, SimConfig, SimDuration, SimTime, Simulation, TimerId};
 use qsel_types::crypto::{Keychain, Signer};
-use qsel_types::{ClusterConfig, ProcessId};
+use qsel_types::{thresholds, ClusterConfig, ProcessId};
 
 use crate::client::Client;
 use crate::messages::{Batch, CompactEntry, PreparePayload, Reply, Request, XpMsg};
@@ -356,7 +356,7 @@ impl OpenLoopClient {
         if !entry.contains(&from) {
             entry.push(from);
         }
-        if entry.len() as u32 > self.cluster.f() {
+        if thresholds::reply_quorum_reached(self.cluster.f(), entry.len()) {
             let sent = self.sent_at.remove(&reply.op).unwrap_or(ctx.now());
             let latency = ctx.now() - sent;
             self.tally.remove(&reply.op);

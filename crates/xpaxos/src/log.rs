@@ -256,7 +256,6 @@ impl Log {
     /// replication): stores the prepare with its commit certificate and
     /// marks the slot decided. A conflicting *decided* entry is never
     /// overwritten; returns `false` in that case.
-    // lint: allow(S1, callers adopt only entries that passed verify_certificate)
     pub fn adopt_decided(&mut self, prepare: SignedPrepare, commits: Vec<SignedCommit>) -> bool {
         let slot_no = prepare.payload.slot;
         match self.slots.get_mut(&slot_no) {
@@ -336,7 +335,6 @@ impl Log {
     /// is not the cursor (out-of-order chunks are a protocol error the
     /// caller handles). The caller MUST have verified the entry's
     /// inclusion proof against a trusted checkpoint root first.
-    // lint: allow(S1, callers verify the MMR inclusion proof before applying)
     pub fn apply_compact(&mut self, slot: u64, batch: &Batch) -> Option<Vec<(u64, Request)>> {
         if slot != self.exec_cursor {
             return None;

@@ -27,7 +27,7 @@ use qsel_detector::{FailureDetector, FdConfig, FdOutput};
 use qsel_obs::{TraceEvent, TraceSink};
 use qsel_simnet::{Context, SimDuration, TimerId};
 use qsel_types::crypto::{Keychain, Signer, Verifier};
-use qsel_types::{CheckpointPayload, ClusterConfig, ProcessId, Quorum};
+use qsel_types::{thresholds, CheckpointPayload, ClusterConfig, ProcessId, Quorum};
 
 use crate::log::Log;
 use crate::messages::{
@@ -531,11 +531,19 @@ impl Replica {
             } => {
                 self.on_sync_chunk(ctx.now(), link_sender, entries, proof_slot, &mut outs);
             }
-            other => {
-                // Replica-to-replica traffic is authenticated and flows
-                // through the failure detector (Fig. 1).
-                if let Some(origin) = self.authenticate(&other) {
-                    let fd_out = self.fd.on_receive(ctx.now(), origin, other);
+            // Replica-to-replica traffic is authenticated and flows
+            // through the failure detector (Fig. 1). Spelled out per
+            // variant (no `_` arm) so adding a wire message forces a
+            // routing decision here — the P1 lint guards the same edge.
+            signed @ (XpMsg::Prepare(_)
+            | XpMsg::Commit(_)
+            | XpMsg::ViewChange(_)
+            | XpMsg::NewView(_)
+            | XpMsg::Update(_)
+            | XpMsg::Heartbeat(_)
+            | XpMsg::Checkpoint(_)) => {
+                if let Some(origin) = self.authenticate(&signed) {
+                    let fd_out = self.fd.on_receive(ctx.now(), origin, signed);
                     self.pump_fd(ctx.now(), fd_out, &mut outs);
                 }
             }
@@ -1233,7 +1241,6 @@ impl Replica {
         self.install_new_view(now, nv, outs);
     }
 
-    // lint: allow(S1, both callers verified nv: on_new_view checks signer and re-proposals; progress_view_change signs it itself)
     fn install_new_view(&mut self, now: qsel_simnet::SimTime, nv: SignedNewView, outs: &mut Outs) {
         let target = nv.payload.view;
         self.view = target;
@@ -1507,7 +1514,7 @@ impl Replica {
         while self.ckpt_votes.len() > MAX_VOTE_SLOTS {
             self.ckpt_votes.pop_last();
         }
-        let need = self.cfg.f() as usize + 1;
+        let need = thresholds::checkpoint_quorum(self.cfg.f());
         let Some(votes) = self.ckpt_votes.get(&slot) else {
             return; // the new vote itself was evicted as far-future spam
         };
@@ -1596,7 +1603,7 @@ impl Replica {
                 return false;
             }
         }
-        signers.len() > self.cfg.f() as usize
+        thresholds::checkpoint_cert_complete(self.cfg.f(), signers.len())
     }
 
     // ------------------------------------------------------------------
@@ -1724,7 +1731,7 @@ impl Replica {
                 frontier,
             },
         );
-        if self.sync_infos.len() as u32 == self.cfg.n() - 1 {
+        if thresholds::all_peers_answered(self.cfg.n(), self.sync_infos.len() as u32) {
             self.choose_donor(now, outs);
         }
     }
